@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+The evaluation-campaign figures (Fig. 7, 8, 9, 11 and the headline numbers)
+all consume the same five-case campaign, so it is run once per benchmark
+session and shared.  Each benchmark prints the data series it regenerates so
+the numbers can be compared side-by-side with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EvaluationConfig, run_evaluation
+
+
+def print_rates_table(title: str, per_scheme: dict[str, dict[str, float]]) -> None:
+    """Print a {scheme: {bin: rate}} table with one row per scheme."""
+    print(f"\n=== {title} ===")
+    bins: list[str] = []
+    for rates in per_scheme.values():
+        for key in rates:
+            if key not in bins:
+                bins.append(key)
+    header = "scheme".ljust(12) + "".join(str(b).rjust(12) for b in bins)
+    print(header)
+    for scheme, rates in per_scheme.items():
+        row = scheme.ljust(12) + "".join(
+            f"{rates.get(b, float('nan')):12.3f}" for b in bins
+        )
+        print(row)
+
+
+@pytest.fixture(scope="session")
+def rates_table():
+    """Expose the table printer to benchmarks as a fixture."""
+    return print_rates_table
+
+
+@pytest.fixture(scope="session")
+def campaign_config() -> EvaluationConfig:
+    """The full-campaign configuration used by the evaluation benchmarks."""
+    return EvaluationConfig(seed=2015)
+
+
+@pytest.fixture(scope="session")
+def campaign(campaign_config):
+    """The five-case evaluation campaign, run once per benchmark session."""
+    return run_evaluation(campaign_config)

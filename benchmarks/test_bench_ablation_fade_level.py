@@ -1,0 +1,68 @@
+"""Ablation — multipath factor vs the fade-level metric (related work [12]).
+
+The paper argues its multipath factor (a) needs no propagation formula and
+(b) is available per subcarrier from a single packet, whereas the fade level
+is a single per-link number that depends on a distance-based prediction.
+This benchmark quantifies the practical consequence on identical simulated
+data: the per-subcarrier multipath factor ranks subcarriers by their
+sensitivity to human presence, which a single per-link fade level cannot do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.channel.channel import ChannelSimulator
+from repro.channel.human import HumanBody
+from repro.channel.noise import ImpairmentModel
+from repro.core.fade_level import fade_level_db
+from repro.core.multipath_factor import multipath_factor
+from repro.csi.collector import PacketCollector
+from repro.csi.rssi import trace_rss_change_db
+from repro.experiments.scenarios import classroom_scenario
+from repro.experiments.workloads import static_location_set
+
+
+def test_ablation_multipath_factor_vs_fade_level(benchmark):
+    scenario = classroom_scenario()
+    link = scenario.link()
+    simulator = ChannelSimulator(
+        link, impairments=ImpairmentModel(snr_db=30.0), max_bounces=2, seed=2015
+    )
+    collector = PacketCollector(simulator, seed=2016)
+    baseline = collector.collect_empty(num_packets=80)
+    locations = static_location_set(link, count=60, seed=7)
+
+    def run():
+        fade = fade_level_db(baseline, link.distance())
+        change_rows = []
+        factor_rows = []
+        for position in locations:
+            trace = collector.collect(HumanBody(position=position), num_packets=15)
+            change_rows.append(trace_rss_change_db(trace, baseline).mean(axis=0)[0])
+            factor_rows.append(multipath_factor(trace.mean_csi())[0])
+        changes = np.asarray(change_rows)
+        factors = np.asarray(factor_rows)
+        correlations = []
+        for k in range(changes.shape[1]):
+            rho = stats.spearmanr(factors[:, k], changes[:, k]).statistic
+            if np.isfinite(rho):
+                correlations.append(rho)
+        return np.asarray(correlations), fade
+
+    correlations, fade = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: per-subcarrier multipath factor vs per-link fade level ===")
+    print(f"  link fade level (single number for the whole link): {fade:.1f} dB")
+    print(
+        "  per-subcarrier Spearman correlation between multipath factor and "
+        f"RSS change across locations: median {np.median(correlations):.2f} "
+        f"(negative, i.e. monotone-decreasing, on {np.mean(correlations < 0):.0%} "
+        "of subcarriers)"
+    )
+    # The multipath factor carries per-subcarrier sensitivity information: the
+    # Fig. 3 monotone-decreasing relationship holds on the majority of
+    # subcarriers.  The fade level, being one number per link, cannot provide
+    # any per-subcarrier ranking (nothing to assert beyond it existing).
+    assert np.mean(correlations < 0) > 0.6
+    assert np.isfinite(fade)

@@ -1,0 +1,41 @@
+"""Fig. 3 — the multipath factor and its relationship with RSS change.
+
+Paper reference: the multipath factor distributes diversely over locations
+and subcarriers (3a); the RSS change falls roughly monotonically (and
+logarithmically) with the multipath factor on a single subcarrier (3b); the
+monotone decreasing trend holds on every fitted subcarrier even though the
+fitted coefficients vary (3c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig3_multipath_factor
+
+
+def test_fig3_multipath_factor_fits(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig3_multipath_factor(num_locations=200, packets_per_location=15, seed=2015),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig. 3a: multipath factor distribution ===")
+    factors = data["multipath_factor"]
+    for percentile in (5, 50, 95):
+        print(f"  p{percentile:02d}: {np.percentile(factors, percentile):.4f}")
+    example = data["example_fit"]
+    print("\n=== Fig. 3b: log fit on subcarrier", data["example_subcarrier"], "===")
+    print(f"  delta_s = {example.slope:.2f} * log10(mu) + {example.intercept:.2f}  "
+          f"(r={example.r_value:.2f}, spearman={example.spearman:.2f})")
+    print("\n=== Fig. 3c: per-subcarrier fits ===")
+    for index, fit in data["fits"].items():
+        print(f"  subcarrier {index:2d}: slope {fit.slope:7.2f} dB/decade, "
+              f"spearman {fit.spearman:6.2f}")
+    fraction = data["monotone_decreasing_subcarriers"] / data["fitted_subcarriers"]
+    print(f"  monotone decreasing on {data['monotone_decreasing_subcarriers']}/"
+          f"{data['fitted_subcarriers']} fitted subcarriers ({fraction:.0%})")
+    # Shape checks: the example fit decreases and the decreasing trend holds
+    # on the large majority of subcarriers, as the paper reports.
+    assert example.slope < 0
+    assert fraction >= 0.7

@@ -1,0 +1,24 @@
+"""Fig. 8 — detection rate per link case at the balanced threshold.
+
+Paper reference: there is no dramatic gap between the five cases; case 3 (a
+short link in a relatively vacant area with a strong LOS) slightly
+outperforms the others, and path weighting only brings marginal gain there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig8_cases
+
+
+def test_fig8_detection_rate_per_case(benchmark, campaign, rates_table):
+    data = benchmark.pedantic(lambda: fig8_cases(campaign), rounds=1, iterations=1)
+    rates_table("Fig. 8: detection rate per case", data)
+    for scheme, rates in data.items():
+        assert set(rates) == {f"case-{i}" for i in range(1, 6)}
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0
+    # The weighted schemes hold up across all five cases (no catastrophic case).
+    assert min(data["combined"].values()) > 0.6
+    assert np.mean(list(data["combined"].values())) >= np.mean(list(data["baseline"].values())) - 0.05

@@ -1,0 +1,31 @@
+"""Fig. 11 — detection performance vs human angle (path weighting benefit).
+
+Paper reference: path weighting brings a notable improvement for humans at
+relatively large angles from the LOS direction, while the gain near the LOS
+direction (around zero degrees) is marginal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig11_angles
+
+
+def test_fig11_detection_rate_vs_angle(benchmark, campaign, rates_table):
+    data = benchmark.pedantic(lambda: fig11_angles(campaign), rounds=1, iterations=1)
+    rates_table("Fig. 11: detection rate vs angle from the receiver broadside", data)
+    combined = data["combined"]
+    baseline = data["baseline"]
+    # Identify the large-angle bins (|angle| >= 30 deg as labelled).
+    def is_large(label: str) -> bool:
+        bounds = [abs(float(x)) for x in str(label).split("-") if x not in ("", "m")]
+        return max(bounds) > 30.0
+
+    large_combined = np.mean([v for k, v in combined.items() if is_large(k)])
+    large_baseline = np.mean([v for k, v in baseline.items() if is_large(k)])
+    print(f"\n  mean detection at large angles: baseline {large_baseline:.2f}, "
+          f"combined {large_combined:.2f}")
+    # The combined scheme holds up at large angles at least as well as the baseline.
+    assert large_combined >= large_baseline - 0.05
+    assert all(0.0 <= v <= 1.0 for v in combined.values())

@@ -1,0 +1,33 @@
+"""Headline numbers — the abstract's 92.0 % detection at 4.5 % false positives.
+
+Paper reference (abstract / Section V-B1): baseline ~70 % balanced accuracy at
+~30 % FP; subcarrier weighting 88.2 % / 13.0 %; subcarrier + path weighting
+92.0 % / 4.5 %, i.e. roughly a 30 % detection-rate improvement and a ~1x
+range gain over the baseline.  The reproduction tracks the ordering and the
+direction/magnitude of the gaps (see EXPERIMENTS.md for the recorded values).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import headline_numbers
+
+
+def test_headline_numbers(benchmark, campaign):
+    data = benchmark.pedantic(lambda: headline_numbers(campaign), rounds=1, iterations=1)
+    print("\n=== Headline: balanced operating point per scheme ===")
+    print("scheme        TPR     FPR     AUC   balanced-accuracy")
+    accuracy = {}
+    for scheme, stats in data.items():
+        accuracy[scheme] = (stats["true_positive_rate"] + 1 - stats["false_positive_rate"]) / 2
+        print(
+            f"{scheme:12s} {stats['true_positive_rate']:6.3f} "
+            f"{stats['false_positive_rate']:7.3f} {stats['auc']:7.3f} "
+            f"{accuracy[scheme]:10.3f}"
+        )
+    # Ordering of the paper's headline result.
+    assert accuracy["combined"] > accuracy["baseline"]
+    assert accuracy["subcarrier"] > accuracy["baseline"]
+    assert accuracy["combined"] >= accuracy["subcarrier"] - 0.02
+    # The combined scheme operates at a high detection rate with the lowest FP.
+    assert data["combined"]["true_positive_rate"] > 0.85
+    assert data["combined"]["false_positive_rate"] < 0.1

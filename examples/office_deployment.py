@@ -1,0 +1,85 @@
+"""Office deployment study: which link placement detects people best?
+
+A facilities team wants to monitor a meeting room with a single AP/receiver
+pair.  This example uses the library the way the paper suggests — as a
+deployment-assessment tool: it evaluates the paper's five office link cases,
+reports per-case detection performance for the three schemes, and prints the
+multipath factor statistics that explain *why* some links are more sensitive
+than others.
+
+Run with::
+
+    python examples/office_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multipath_factor import multipath_factor_trace
+from repro.core.thresholds import roc_curve
+from repro.csi.collector import PacketCollector
+from repro.channel.channel import ChannelSimulator
+from repro.channel.noise import ImpairmentModel
+from repro.experiments.runner import EvaluationConfig, run_case
+from repro.experiments.scenarios import evaluation_cases
+
+
+def describe_link_multipath(link, seed: int) -> str:
+    """Summarise how multipath-rich a link's static channel is."""
+    simulator = ChannelSimulator(
+        link, impairments=ImpairmentModel(snr_db=35.0), max_bounces=2, seed=seed
+    )
+    collector = PacketCollector(simulator, seed=seed + 1)
+    trace = collector.collect_empty(num_packets=60)
+    factors = multipath_factor_trace(trace).mean(axis=0)[0]
+    spread = factors.std() / factors.mean()
+    paths = simulator.static_paths()
+    return (
+        f"{len(paths)} static paths, multipath-factor spread across subcarriers "
+        f"{spread:.2f} (higher = more frequency-selective)"
+    )
+
+
+def main() -> None:
+    config = EvaluationConfig(windows_per_location=2, seed=42)
+    print("Evaluating the five office link cases (this takes ~20 s)...\n")
+
+    summary_rows = []
+    for index, (scenario, link) in enumerate(evaluation_cases()):
+        windows = run_case(link, config, case_seed=config.seed + 100 * index)
+        row = {"case": link.name, "room": scenario.room.name, "length_m": link.distance()}
+        for scheme in config.schemes:
+            positives = [w.score for w in windows if w.scheme == scheme and w.occupied]
+            negatives = [w.score for w in windows if w.scheme == scheme and not w.occupied]
+            curve = roc_curve(positives, negatives)
+            _, tpr, fpr = curve.balanced_point()
+            row[scheme] = (curve.auc(), tpr, fpr)
+        summary_rows.append(row)
+        print(f"{link.name} ({scenario.room.name}, {link.distance():.1f} m link): "
+              f"{describe_link_multipath(link, seed=7 + index)}")
+
+    print("\nPer-case balanced detection performance (AUC | TPR | FPR):")
+    header = "case      room        len " + "".join(f"{s:>26s}" for s in config.schemes)
+    print(header)
+    for row in summary_rows:
+        line = f"{row['case']:9s} {row['room']:10s} {row['length_m']:4.1f}"
+        for scheme in config.schemes:
+            auc, tpr, fpr = row[scheme]
+            line += f"   {auc:5.2f} | {tpr:4.2f} | {fpr:4.2f}"
+        print(line)
+
+    best = max(
+        summary_rows,
+        key=lambda row: row["combined"][0],
+    )
+    print(
+        f"\nRecommendation: deploy like {best['case']} "
+        f"({best['room']}, {best['length_m']:.1f} m link) and use the combined "
+        "subcarrier + path weighting scheme; it achieved the highest AUC "
+        f"({best['combined'][0]:.2f}) in this study."
+    )
+
+
+if __name__ == "__main__":
+    main()

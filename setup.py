@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy (non-PEP-660) editable installs keep working in offline
+environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

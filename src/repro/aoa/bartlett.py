@@ -1,0 +1,88 @@
+"""Bartlett (delay-and-sum) angular power spectrum.
+
+MUSIC produces a *pseudo* spectrum: sharp peaks at the arrival angles, but
+values with no power calibration (they measure the inverse distance to the
+noise subspace).  For the detection statistic of the combined scheme, what
+matters is how the received *power* is distributed over angle, because the
+path weights of Eq. 17 are designed to amplify power changes arriving from
+the weaker reflected directions.  The classic Bartlett beamformer provides
+exactly that power-calibrated angular spectrum:
+
+    P_B(theta) = a(theta)^H R a(theta) / M^2
+
+with ``R`` the spatial covariance and ``a`` the steering vector.  The library
+therefore uses MUSIC to *identify* path directions (Fig. 5b, Fig. 10) and the
+Bartlett spectrum as the default angular power representation inside the
+combined detector; the MUSIC pseudospectrum remains available there as a
+configuration option (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aoa.covariance import spatial_covariance
+from repro.aoa.music import PseudoSpectrum
+from repro.channel.antenna import UniformLinearArray
+from repro.channel.constants import CHANNEL_11_CENTER_HZ
+
+
+@dataclass
+class BartlettEstimator:
+    """Delay-and-sum angular power spectrum bound to an array geometry.
+
+    Parameters
+    ----------
+    array:
+        The receive array that produced the CSI snapshots.
+    frequency_hz:
+        Carrier frequency used for the steering vectors.
+    angle_grid_deg:
+        Angles at which the spectrum is evaluated.
+    """
+
+    array: UniformLinearArray
+    frequency_hz: float = CHANNEL_11_CENTER_HZ
+    angle_grid_deg: np.ndarray = field(
+        default_factory=lambda: np.linspace(-90.0, 90.0, 181)
+    )
+
+    def __post_init__(self) -> None:
+        self.angle_grid_deg = np.asarray(self.angle_grid_deg, dtype=float)
+        if self.angle_grid_deg.ndim != 1 or self.angle_grid_deg.size < 2:
+            raise ValueError("angle_grid_deg must be a 1-D array with at least 2 angles")
+
+    def pseudospectrum_from_covariance(self, covariance: np.ndarray) -> PseudoSpectrum:
+        """Angular power spectrum from a spatial covariance matrix."""
+        covariance = np.asarray(covariance, dtype=complex)
+        expected = (self.array.num_elements, self.array.num_elements)
+        if covariance.shape != expected:
+            raise ValueError(
+                f"covariance has shape {covariance.shape}, expected {expected}"
+            )
+        steering = self.array.steering_matrix(
+            np.radians(self.angle_grid_deg), self.frequency_hz
+        )
+        # Quadratic form per angle: a^H R a, normalised by M^2 so that a
+        # single unit-power plane wave yields a peak value of ~1.
+        quad = np.einsum("ik,ij,jk->k", steering.conj(), covariance, steering)
+        values = np.real(quad) / (self.array.num_elements**2)
+        values = np.maximum(values, 0.0)
+        return PseudoSpectrum(self.angle_grid_deg.copy(), values)
+
+    def pseudospectrum(self, csi: np.ndarray) -> PseudoSpectrum:
+        """Angular power spectrum from raw CSI snapshots.
+
+        Parameters
+        ----------
+        csi:
+            Complex CSI of shape ``(antennas, subcarriers)`` or
+            ``(packets, antennas, subcarriers)``.
+        """
+        return self.pseudospectrum_from_covariance(spatial_covariance(csi))
+
+    def estimate_angles(self, csi: np.ndarray, *, max_paths: int = 2) -> list[float]:
+        """Arrival angles from the Bartlett spectrum peaks (coarse)."""
+        return self.pseudospectrum(csi).peaks(max_peaks=max_paths)

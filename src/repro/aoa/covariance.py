@@ -1,0 +1,62 @@
+"""Spatial covariance estimation from CSI snapshots.
+
+MUSIC operates on the covariance matrix of the signals observed across the
+array.  On a commodity NIC the natural snapshots are the per-subcarrier CSI
+vectors of one or more packets: each subcarrier provides one M-dimensional
+observation (M = number of antennas), and averaging over subcarriers and
+packets yields a well-conditioned estimate even with only three antennas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.trace import CSITrace
+
+
+def spatial_covariance(csi: np.ndarray) -> np.ndarray:
+    """Spatial covariance matrix ``R = E[x x^H]`` from CSI snapshots.
+
+    Parameters
+    ----------
+    csi:
+        Complex CSI of shape ``(antennas, subcarriers)`` for one packet or
+        ``(packets, antennas, subcarriers)`` for a burst.  Every
+        (packet, subcarrier) pair contributes one snapshot.
+
+    Returns
+    -------
+    numpy.ndarray
+        Hermitian matrix of shape ``(antennas, antennas)``.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    if csi.ndim == 2:
+        snapshots = csi
+    elif csi.ndim == 3:
+        # Collapse packets and subcarriers into one snapshot axis.
+        snapshots = np.moveaxis(csi, 1, 0).reshape(csi.shape[1], -1)
+    else:
+        raise ValueError(
+            "csi must have shape (antennas, subcarriers) or "
+            f"(packets, antennas, subcarriers), got {csi.shape}"
+        )
+    num_snapshots = snapshots.shape[1]
+    if num_snapshots == 0:
+        raise ValueError("cannot estimate a covariance from zero snapshots")
+    return snapshots @ snapshots.conj().T / num_snapshots
+
+
+def trace_covariance(trace: CSITrace) -> np.ndarray:
+    """Spatial covariance of an entire trace (all packets, all subcarriers)."""
+    return spatial_covariance(trace.csi)
+
+
+def condition_number(covariance: np.ndarray) -> float:
+    """Condition number of a covariance matrix (diagnostic helper)."""
+    covariance = np.asarray(covariance)
+    eigenvalues = np.linalg.eigvalsh(covariance)
+    smallest = float(np.min(np.abs(eigenvalues)))
+    largest = float(np.max(np.abs(eigenvalues)))
+    if smallest <= 0:
+        return float("inf")
+    return largest / smallest

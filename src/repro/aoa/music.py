@@ -1,0 +1,178 @@
+"""MUSIC (MUltiple SIgnal Classification) angle-of-arrival estimation.
+
+Implements Schmidt's MUSIC algorithm [23] as used in the paper
+(Section IV-B1): the spatial covariance of the CSI snapshots is
+eigendecomposed, the eigenvectors associated with the smallest eigenvalues
+span the noise subspace, and the pseudospectrum
+
+    P(theta) = 1 / (a(theta)^H  E_n E_n^H  a(theta))
+
+peaks at the arrival angles of the incoming paths.  With the Intel 5300's
+three antennas at most two paths can be resolved, which is exactly what the
+paper relies on to separate the LOS direction from the strongest reflection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy.signal import find_peaks
+
+from repro.aoa.covariance import spatial_covariance
+from repro.channel.antenna import UniformLinearArray
+from repro.channel.constants import CHANNEL_11_CENTER_HZ
+
+
+@dataclass(frozen=True)
+class PseudoSpectrum:
+    """An angular pseudospectrum: power-like values over a grid of angles."""
+
+    angles_deg: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        angles = np.asarray(self.angles_deg, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if angles.shape != values.shape or angles.ndim != 1:
+            raise ValueError(
+                "angles_deg and values must be 1-D arrays of equal length, "
+                f"got {angles.shape} and {values.shape}"
+            )
+        object.__setattr__(self, "angles_deg", angles)
+        object.__setattr__(self, "values", values)
+
+    def normalized(self) -> "PseudoSpectrum":
+        """Spectrum scaled so its maximum equals 1 (for display and weighting)."""
+        peak = float(np.max(self.values))
+        if peak <= 0:
+            raise ValueError("cannot normalise a non-positive pseudospectrum")
+        return PseudoSpectrum(self.angles_deg, self.values / peak)
+
+    def in_db(self) -> np.ndarray:
+        """Spectrum values in dB relative to the peak."""
+        normalized = self.normalized().values
+        return 10.0 * np.log10(np.maximum(normalized, 1e-12))
+
+    def peaks(self, max_peaks: int | None = None, *, min_prominence: float = 0.01) -> list[float]:
+        """Angles (degrees) of the spectrum peaks, strongest first.
+
+        Parameters
+        ----------
+        max_peaks:
+            Keep at most this many peaks; ``None`` keeps all.
+        min_prominence:
+            Prominence threshold relative to the spectrum maximum, filtering
+            out ripple in the noise floor.
+        """
+        values = self.normalized().values
+        indices, properties = find_peaks(values, prominence=min_prominence)
+        if indices.size == 0:
+            # Fall back to the global maximum (a flat or monotone spectrum).
+            indices = np.asarray([int(np.argmax(values))])
+            order = np.asarray([0])
+        else:
+            order = np.argsort(values[indices])[::-1]
+        ranked = [float(self.angles_deg[indices[i]]) for i in order]
+        if max_peaks is not None:
+            ranked = ranked[:max_peaks]
+        return ranked
+
+    def value_at(self, angle_deg: float) -> float:
+        """Spectrum value linearly interpolated at *angle_deg*."""
+        return float(np.interp(angle_deg, self.angles_deg, self.values))
+
+
+@dataclass
+class MusicEstimator:
+    """MUSIC estimator bound to a receive array geometry.
+
+    Parameters
+    ----------
+    array:
+        The uniform linear array (spacing and element count) that produced
+        the CSI.
+    num_sources:
+        Assumed number of incoming paths (signal-subspace dimension).  With
+        three antennas the paper uses 2: the LOS path plus the strongest
+        reflection.
+    frequency_hz:
+        Carrier frequency used to convert phase differences to angles.
+    angle_grid_deg:
+        Evaluation grid of the pseudospectrum; defaults to −90°…90° in 1°
+        steps, matching the field of view of a linear array.
+    """
+
+    array: UniformLinearArray
+    num_sources: int = 2
+    frequency_hz: float = CHANNEL_11_CENTER_HZ
+    angle_grid_deg: np.ndarray = field(
+        default_factory=lambda: np.linspace(-90.0, 90.0, 181)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_sources < 1:
+            raise ValueError(f"num_sources must be >= 1, got {self.num_sources}")
+        if self.num_sources >= self.array.num_elements:
+            raise ValueError(
+                f"num_sources ({self.num_sources}) must be smaller than the "
+                f"number of antennas ({self.array.num_elements})"
+            )
+        self.angle_grid_deg = np.asarray(self.angle_grid_deg, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # subspace machinery
+    # ------------------------------------------------------------------ #
+    def noise_subspace(self, covariance: np.ndarray) -> np.ndarray:
+        """Noise-subspace basis ``E_n`` of shape ``(M, M - num_sources)``."""
+        covariance = np.asarray(covariance, dtype=complex)
+        expected = (self.array.num_elements, self.array.num_elements)
+        if covariance.shape != expected:
+            raise ValueError(
+                f"covariance has shape {covariance.shape}, expected {expected}"
+            )
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        # eigh returns ascending eigenvalues; the smallest M - d span the
+        # noise subspace.
+        num_noise = self.array.num_elements - self.num_sources
+        return eigenvectors[:, :num_noise]
+
+    def pseudospectrum_from_covariance(self, covariance: np.ndarray) -> PseudoSpectrum:
+        """Evaluate the MUSIC pseudospectrum from a covariance matrix."""
+        noise = self.noise_subspace(covariance)
+        steering = self.array.steering_matrix(
+            np.radians(self.angle_grid_deg), self.frequency_hz
+        )
+        projected = noise.conj().T @ steering
+        denom = np.sum(np.abs(projected) ** 2, axis=0)
+        values = 1.0 / np.maximum(denom, 1e-12)
+        return PseudoSpectrum(self.angle_grid_deg.copy(), values)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def pseudospectrum(self, csi: np.ndarray) -> PseudoSpectrum:
+        """Pseudospectrum from raw CSI snapshots.
+
+        Parameters
+        ----------
+        csi:
+            Complex CSI of shape ``(antennas, subcarriers)`` or
+            ``(packets, antennas, subcarriers)``.
+        """
+        covariance = spatial_covariance(csi)
+        return self.pseudospectrum_from_covariance(covariance)
+
+    def estimate_angles(
+        self, csi: np.ndarray, *, max_paths: int | None = None
+    ) -> list[float]:
+        """Estimated arrival angles in degrees, strongest peak first."""
+        spectrum = self.pseudospectrum(csi)
+        limit = max_paths if max_paths is not None else self.num_sources
+        return spectrum.peaks(max_peaks=limit)
+
+    def estimate_los_angle(self, csi: np.ndarray) -> float:
+        """Angle of the strongest pseudospectrum peak (assumed LOS)."""
+        angles = self.estimate_angles(csi, max_paths=1)
+        return angles[0]

@@ -1,0 +1,129 @@
+"""Receive antenna array geometry and steering vectors.
+
+The paper's receiver is an Intel 5300 NIC with three external omnidirectional
+antennas arranged (for angle-of-arrival purposes) as a uniform linear array
+with half-wavelength spacing.  A path arriving from angle ``theta`` relative
+to the array broadside reaches element ``m`` with an extra propagation
+distance ``m * spacing * sin(theta)``, i.e. an extra phase
+``2 pi f / c * m * spacing * sin(theta)`` (Section IV-B1, Eq. 16).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.constants import SPEED_OF_LIGHT, center_wavelength
+from repro.channel.geometry import Point
+
+
+@dataclass(frozen=True)
+class UniformLinearArray:
+    """A uniform linear array of omnidirectional elements.
+
+    Parameters
+    ----------
+    num_elements:
+        Number of antennas (3 for the Intel 5300 setup).
+    spacing:
+        Element spacing in metres; defaults to half the carrier wavelength at
+        2.4 GHz channel 11 (about 6.1 cm).
+    reference:
+        Position of element 0 in the room plane.  The remaining elements are
+        laid out along the array axis; for channel synthesis only the phase
+        offsets matter, so the default origin is fine when the array is used
+        purely through steering vectors.
+    broadside:
+        Unit-ish vector giving the boresight (broadside) direction; angles of
+        arrival are measured from it, positive counter-clockwise.
+    """
+
+    num_elements: int = 3
+    spacing: float = field(default_factory=lambda: center_wavelength() / 2.0)
+    reference: Point = Point(0.0, 0.0)
+    broadside: Point = Point(1.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(f"num_elements must be >= 1, got {self.num_elements}")
+        if self.spacing <= 0:
+            raise ValueError(f"spacing must be > 0, got {self.spacing}")
+        if self.broadside.norm() < 1e-12:
+            raise ValueError("broadside direction must be a non-zero vector")
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    def axis_direction(self) -> Point:
+        """Unit vector along the array axis (perpendicular to broadside)."""
+        b = self.broadside.normalized()
+        return Point(-b.y, b.x)
+
+    def element_positions(self) -> list[Point]:
+        """Positions of all elements in the room plane."""
+        axis = self.axis_direction()
+        return [
+            self.reference + axis * (m * self.spacing) for m in range(self.num_elements)
+        ]
+
+    def oriented_towards(self, target: Point, reference: Point | None = None) -> "UniformLinearArray":
+        """Return a copy whose broadside points from *reference* to *target*.
+
+        This is the usual deployment in the paper's experiments: the array
+        broadside faces the transmitter so the LOS path arrives near 0°.
+        """
+        ref = reference if reference is not None else self.reference
+        direction = target - ref
+        if direction.norm() < 1e-12:
+            raise ValueError("target coincides with the array reference position")
+        return UniformLinearArray(
+            num_elements=self.num_elements,
+            spacing=self.spacing,
+            reference=ref,
+            broadside=direction.normalized(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # steering
+    # ------------------------------------------------------------------ #
+    def phase_shifts(self, aoa_rad: float, frequency: float) -> np.ndarray:
+        """Per-element phase shift (radians) for a plane wave from *aoa_rad*.
+
+        Element 0 is the phase reference; element ``m`` sees an additional
+        ``2 pi f / c * m * spacing * sin(aoa)``.
+        """
+        m = np.arange(self.num_elements, dtype=float)
+        return 2.0 * np.pi * frequency / SPEED_OF_LIGHT * m * self.spacing * math.sin(aoa_rad)
+
+    def steering_vector(self, aoa_rad: float, frequency: float) -> np.ndarray:
+        """Complex steering vector ``exp(-j * phase_shifts)`` of shape (M,)."""
+        return np.exp(-1j * self.phase_shifts(aoa_rad, frequency))
+
+    def steering_matrix(self, aoas_rad: np.ndarray, frequency: float) -> np.ndarray:
+        """Steering vectors for many angles, stacked as columns (M, K)."""
+        aoas_rad = np.asarray(aoas_rad, dtype=float).ravel()
+        m = np.arange(self.num_elements, dtype=float)[:, None]
+        phase = (
+            2.0
+            * np.pi
+            * frequency
+            / SPEED_OF_LIGHT
+            * m
+            * self.spacing
+            * np.sin(aoas_rad)[None, :]
+        )
+        return np.exp(-1j * phase)
+
+    def unambiguous_angle_range_deg(self) -> tuple[float, float]:
+        """Angular field of view the array can resolve without aliasing.
+
+        A linear array only distinguishes angles within 180°; with spacing
+        above half a wavelength the range shrinks further.  Used by the path
+        weighting stage to gate the trusted angular window.
+        """
+        lam = center_wavelength()
+        sin_max = min(1.0, lam / (2.0 * self.spacing))
+        max_deg = math.degrees(math.asin(sin_max))
+        return (-max_deg, max_deg)

@@ -1,0 +1,266 @@
+"""End-to-end channel simulation: room + link + people -> CSI matrices.
+
+:class:`Link` bundles a transmitter position, a receiver position and the
+receive array inside a room; :class:`ChannelSimulator` turns that static
+description plus a (possibly empty) set of people into per-packet CSI of shape
+``(num_antennas, num_subcarriers)`` on the Intel 5300 subcarrier grid,
+including measurement impairments.
+
+This is the substrate replacing the paper's Tenda AP + Intel 5300 testbed; the
+downstream library (multipath factor, subcarrier/path weighting, detection)
+never needs to know whether the CSI came from hardware or from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.channel.antenna import UniformLinearArray
+from repro.channel.constants import (
+    INTEL5300_SUBCARRIER_INDICES,
+    subcarrier_frequencies,
+)
+from repro.channel.geometry import Point, Room
+from repro.channel.human import HumanBody
+from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary
+from repro.channel.noise import ImpairmentModel
+from repro.channel.ofdm import synthesize_cfr
+from repro.channel.propagation import PropagationModel
+from repro.channel.rays import Path, RayTracer, assign_angles_of_arrival
+from repro.utils.rng import SeedLike, derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class Link:
+    """A transmitter-receiver pair deployed inside a room.
+
+    Parameters
+    ----------
+    room:
+        The environment.
+    tx, rx:
+        Transmitter and receiver positions in metres.
+    array:
+        The receive array; when ``None`` a 3-element half-wavelength ULA is
+        created at the receiver with its broadside facing the transmitter
+        (the deployment used throughout the paper's evaluation).
+    name:
+        Human-readable identifier (for example ``"case-3"``).
+    tx_power:
+        Effective transmit power (linear) of this deployment.  The paper's
+        five cases use APs at different heights and positions, which shows up
+        as different received-power scales per link; exposing the knob here
+        lets the evaluation reproduce that heterogeneity.
+    """
+
+    room: Room
+    tx: Point
+    rx: Point
+    array: UniformLinearArray | None = None
+    name: str = "link"
+    tx_power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tx.distance_to(self.rx) < 1e-6:
+            raise ValueError("transmitter and receiver cannot coincide")
+        if self.tx_power <= 0:
+            raise ValueError(f"tx_power must be > 0, got {self.tx_power}")
+        if self.array is None:
+            default_array = UniformLinearArray(reference=self.rx).oriented_towards(self.tx)
+            object.__setattr__(self, "array", default_array)
+
+    def distance(self) -> float:
+        """TX-RX separation in metres."""
+        return self.tx.distance_to(self.rx)
+
+    def midpoint(self) -> Point:
+        """Midpoint of the LOS segment (used when placing human grids)."""
+        return Point((self.tx.x + self.rx.x) / 2.0, (self.tx.y + self.rx.y) / 2.0)
+
+
+class ChannelSimulator:
+    """Simulate CSI packets observed over a :class:`Link`.
+
+    Parameters
+    ----------
+    link:
+        The deployed link.
+    propagation:
+        Free-space propagation model (path-loss exponent etc.).
+    impairments:
+        Per-packet measurement impairments; pass
+        ``ImpairmentModel().noiseless()`` for analytically clean CSI.
+    materials:
+        Material library resolving wall reflection coefficients.
+    max_bounces:
+        Reflection order for environment paths (1 reproduces the paper's
+        one-bounce analysis; 2 adds denser multipath).
+    seed:
+        Base seed for per-packet impairment randomness.
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        *,
+        propagation: PropagationModel | None = None,
+        impairments: ImpairmentModel | None = None,
+        materials: MaterialLibrary | None = None,
+        max_bounces: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        self.link = link
+        self.propagation = propagation if propagation is not None else PropagationModel()
+        self.impairments = impairments if impairments is not None else ImpairmentModel()
+        self.materials = materials if materials is not None else DEFAULT_MATERIALS
+        self.tracer = RayTracer(link.room, materials=self.materials, max_bounces=max_bounces)
+        self.frequencies = subcarrier_frequencies()
+        self.subcarrier_indices = np.asarray(INTEL5300_SUBCARRIER_INDICES, dtype=float)
+        self._rng = ensure_rng(seed)
+        self._static_paths: list[Path] | None = None
+
+    # ------------------------------------------------------------------ #
+    # path enumeration
+    # ------------------------------------------------------------------ #
+    def static_paths(self) -> list[Path]:
+        """Environment paths (LOS + wall bounces) with angles of arrival.
+
+        The result is cached: the environment does not move during an
+        experiment, only the people do.
+        """
+        if self._static_paths is None:
+            raw = self.tracer.trace(self.link.tx, self.link.rx)
+            self._static_paths = assign_angles_of_arrival(
+                raw, self.link.rx, self.link.array.broadside
+            )
+        return list(self._static_paths)
+
+    def paths(self, humans: Sequence[HumanBody] | HumanBody | None = None) -> list[Path]:
+        """All propagation paths given the people currently in the room.
+
+        Environment paths are attenuated by each person's shadowing profile
+        and each person contributes one additional reflection path.
+        """
+        people = self._normalize_humans(humans)
+        paths: list[Path] = []
+        for path in self.static_paths():
+            gain = 1.0
+            for person in people:
+                gain *= person.shadow_attenuation(path)
+            paths.append(path.with_gain(gain) if gain != 1.0 else path)
+        for person in people:
+            reflection = person.reflection_path(self.link.tx, self.link.rx)
+            # The other people may partially shadow this new path too.
+            gain = 1.0
+            for other in people:
+                if other is person:
+                    continue
+                gain *= other.shadow_attenuation(reflection)
+            reflection = reflection.with_gain(gain) if gain != 1.0 else reflection
+            (reflection,) = assign_angles_of_arrival(
+                [reflection], self.link.rx, self.link.array.broadside
+            )
+            paths.append(reflection)
+        return paths
+
+    # ------------------------------------------------------------------ #
+    # CSI synthesis
+    # ------------------------------------------------------------------ #
+    def clean_cfr(self, humans: Sequence[HumanBody] | HumanBody | None = None) -> np.ndarray:
+        """Noise-free CFR of shape ``(num_antennas, num_subcarriers)``."""
+        return synthesize_cfr(
+            self.paths(humans),
+            propagation=self.propagation,
+            array=self.link.array,
+            frequencies=self.frequencies,
+        )
+
+    def sample_packet(
+        self,
+        humans: Sequence[HumanBody] | HumanBody | None = None,
+        *,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """One CSI packet including measurement impairments."""
+        rng = ensure_rng(seed) if seed is not None else self._rng
+        clean = self.clean_cfr(humans)
+        return self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
+
+    def sample_burst(
+        self,
+        humans: Sequence[HumanBody] | HumanBody | None = None,
+        *,
+        num_packets: int,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """A burst of packets for a static scene.
+
+        Returns an array of shape ``(num_packets, num_antennas,
+        num_subcarriers)``.  The clean CFR is computed once (the scene is
+        static); only the impairments differ per packet, mirroring how the
+        hardware behaves between scene changes.
+        """
+        if num_packets < 1:
+            raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+        rng = ensure_rng(seed) if seed is not None else self._rng
+        clean = self.clean_cfr(humans)
+        packets = np.empty(
+            (num_packets, clean.shape[0], clean.shape[1]), dtype=complex
+        )
+        for p in range(num_packets):
+            packets[p] = self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
+        return packets
+
+    def sample_trajectory(
+        self,
+        positions: Sequence[Point],
+        *,
+        body: HumanBody | None = None,
+        background: Sequence[HumanBody] = (),
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """CSI for a person visiting *positions*, one packet per position.
+
+        Used for the walking-across-the-link measurements of Fig. 2b.
+        Returns shape ``(len(positions), num_antennas, num_subcarriers)``.
+        """
+        rng = ensure_rng(seed) if seed is not None else self._rng
+        template = body if body is not None else HumanBody(position=self.link.midpoint())
+        packets = []
+        for position in positions:
+            person = template.moved_to(position)
+            humans = [person, *background]
+            packets.append(
+                self.impairments.apply(
+                    self.clean_cfr(humans), self.subcarrier_indices, seed=rng
+                )
+            )
+        return np.asarray(packets)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalize_humans(
+        humans: Sequence[HumanBody] | HumanBody | None,
+    ) -> list[HumanBody]:
+        if humans is None:
+            return []
+        if isinstance(humans, HumanBody):
+            return [humans]
+        return list(humans)
+
+    def with_impairments(self, impairments: ImpairmentModel) -> "ChannelSimulator":
+        """A new simulator on the same link with different impairments."""
+        clone = ChannelSimulator(
+            self.link,
+            propagation=self.propagation,
+            impairments=impairments,
+            materials=self.materials,
+            max_bounces=self.tracer.max_bounces,
+            seed=self._rng,
+        )
+        return clone

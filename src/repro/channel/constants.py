@@ -1,0 +1,71 @@
+"""Physical and 802.11n constants used across the simulator.
+
+The paper operates at 2.4 GHz channel 11 with the Intel 5300 CSI tool, which
+reports 30 of the 56 data/pilot subcarriers of a 20 MHz 802.11n channel.  The
+reported subcarrier indices are listed in the paper's footnote 1 and are
+reproduced verbatim here so the simulator emits CSI on exactly the same
+frequency grid as the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+#: Centre frequency of IEEE 802.11 channel 11 in the 2.4 GHz band [Hz].
+CHANNEL_11_CENTER_HZ: float = 2.462e9
+
+#: OFDM subcarrier spacing of a 20 MHz 802.11n channel [Hz].
+SUBCARRIER_SPACING_HZ: float = 312_500.0
+
+#: Subcarrier indices reported by the Intel 5300 CSI tool (paper footnote 1).
+INTEL5300_SUBCARRIER_INDICES: tuple[int, ...] = (
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+    1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+)
+
+#: Number of subcarriers in one CSI group ("A group of 30 CSIs").
+NUM_SUBCARRIERS: int = len(INTEL5300_SUBCARRIER_INDICES)
+
+#: Default packet rate used in the paper's evaluation [packets per second].
+DEFAULT_PACKET_RATE_HZ: float = 50.0
+
+#: Default number of receive antennas (Intel 5300 with three external antennas).
+DEFAULT_NUM_ANTENNAS: int = 3
+
+
+def subcarrier_frequencies(
+    center_hz: float = CHANNEL_11_CENTER_HZ,
+    indices: tuple[int, ...] = INTEL5300_SUBCARRIER_INDICES,
+    spacing_hz: float = SUBCARRIER_SPACING_HZ,
+) -> np.ndarray:
+    """Absolute frequency of each reported subcarrier [Hz].
+
+    Parameters
+    ----------
+    center_hz:
+        Channel centre frequency.
+    indices:
+        Subcarrier indices relative to the centre (defaults to the Intel 5300
+        grid).
+    spacing_hz:
+        Subcarrier spacing.
+    """
+    idx = np.asarray(indices, dtype=float)
+    return center_hz + idx * spacing_hz
+
+
+def subcarrier_wavelengths(
+    center_hz: float = CHANNEL_11_CENTER_HZ,
+    indices: tuple[int, ...] = INTEL5300_SUBCARRIER_INDICES,
+    spacing_hz: float = SUBCARRIER_SPACING_HZ,
+) -> np.ndarray:
+    """Wavelength of each reported subcarrier [m]."""
+    return SPEED_OF_LIGHT / subcarrier_frequencies(center_hz, indices, spacing_hz)
+
+
+def center_wavelength(center_hz: float = CHANNEL_11_CENTER_HZ) -> float:
+    """Wavelength at the channel centre frequency [m] (about 12.2 cm)."""
+    return SPEED_OF_LIGHT / center_hz

@@ -1,0 +1,121 @@
+"""Measurement impairments of commodity WiFi CSI.
+
+Raw Intel 5300 CSI is far from the clean channel frequency response: each
+packet carries a random common phase from residual carrier frequency offset
+(CFO), a linear phase slope across subcarriers from sampling frequency offset
+(SFO) and packet detection delay, an amplitude wobble from automatic gain
+control (AGC), and thermal noise.  The paper calibrates the raw CSI "as in
+[26]" (Sen et al.) to remove the phase artefacts; reproducing the impairments
+here lets the calibration stage in :mod:`repro.csi.calibration` do real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ImpairmentModel:
+    """Per-packet impairments applied to a clean CFR.
+
+    Parameters
+    ----------
+    snr_db:
+        Average signal-to-noise ratio of the received CSI.  Thermal noise is
+        complex Gaussian with power set relative to the mean subcarrier power
+        of the clean CFR.
+    cfo_phase:
+        When True, a common random phase (uniform over ``[0, 2pi)``) is
+        applied to the whole packet, identical across antennas driven by the
+        same oscillator.
+    sfo_slope_std:
+        Standard deviation (radians per subcarrier index) of the random
+        linear phase slope from SFO / packet detection delay.
+    agc_std_db:
+        Standard deviation of the per-packet log-normal amplitude jitter from
+        automatic gain control.
+    antenna_phase_offsets:
+        When True, each antenna receives an additional small fixed-per-packet
+        phase offset, modelling imperfect RF-chain phase alignment.
+    """
+
+    snr_db: float = 30.0
+    cfo_phase: bool = True
+    sfo_slope_std: float = 0.05
+    agc_std_db: float = 0.5
+    antenna_phase_offsets: bool = True
+
+    def apply(
+        self,
+        cfr: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Return a noisy copy of *cfr* (shape ``(antennas, subcarriers)``).
+
+        Parameters
+        ----------
+        cfr:
+            Clean channel frequency response.
+        subcarrier_indices:
+            Intel-5300 subcarrier indices (used for the SFO phase slope so it
+            is linear in actual frequency offset, not array position).
+        seed:
+            Seed or generator controlling the random draws for this packet.
+        """
+        rng = ensure_rng(seed)
+        cfr = np.asarray(cfr, dtype=complex)
+        if cfr.ndim != 2:
+            raise ValueError(
+                f"cfr must have shape (antennas, subcarriers), got {cfr.shape}"
+            )
+        indices = np.asarray(subcarrier_indices, dtype=float)
+        if indices.shape != (cfr.shape[1],):
+            raise ValueError(
+                f"subcarrier_indices has shape {indices.shape}, expected ({cfr.shape[1]},)"
+            )
+        noisy = cfr.copy()
+
+        if self.cfo_phase:
+            common_phase = rng.uniform(0.0, 2.0 * np.pi)
+            noisy *= np.exp(1j * common_phase)
+
+        if self.sfo_slope_std > 0:
+            slope = rng.normal(0.0, self.sfo_slope_std)
+            noisy *= np.exp(1j * slope * indices)[None, :]
+
+        if self.antenna_phase_offsets and cfr.shape[0] > 1:
+            offsets = rng.normal(0.0, 0.1, size=cfr.shape[0])
+            noisy *= np.exp(1j * offsets)[:, None]
+
+        if self.agc_std_db > 0:
+            gain_db = rng.normal(0.0, self.agc_std_db)
+            noisy *= 10.0 ** (gain_db / 20.0)
+
+        mean_power = float(np.mean(np.abs(cfr) ** 2))
+        if mean_power > 0 and np.isfinite(self.snr_db):
+            noise_power = mean_power / (10.0 ** (self.snr_db / 10.0))
+            noise = rng.normal(0.0, np.sqrt(noise_power / 2.0), size=cfr.shape) + 1j * rng.normal(
+                0.0, np.sqrt(noise_power / 2.0), size=cfr.shape
+            )
+            noisy += noise
+
+        return noisy
+
+    def noiseless(self) -> "ImpairmentModel":
+        """A copy of this model with every impairment switched off.
+
+        Useful in tests and analytic figures where the clean channel is
+        needed for ground truth.
+        """
+        return ImpairmentModel(
+            snr_db=np.inf,
+            cfo_phase=False,
+            sfo_slope_std=0.0,
+            agc_std_db=0.0,
+            antenna_phase_offsets=False,
+        )

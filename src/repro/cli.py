@@ -1,0 +1,134 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+Examples
+--------
+Run the full evaluation campaign and print the headline numbers::
+
+    python -m repro headline
+
+Regenerate a specific figure's data::
+
+    python -m repro figure fig9 --seed 7
+
+List every available experiment::
+
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.runner import EvaluationConfig, run_evaluation
+
+#: Figure generators that need the shared evaluation campaign.
+_CAMPAIGN_FIGURES = {
+    "fig7": figures.fig7_roc,
+    "fig8": figures.fig8_cases,
+    "fig9": figures.fig9_range,
+    "fig11": figures.fig11_angles,
+}
+
+#: Stand-alone figure generators (they build their own small campaigns).
+_STANDALONE_FIGURES: dict[str, Callable[..., Any]] = {
+    "fig2a": figures.fig2a_rss_change_cdf,
+    "fig2b": figures.fig2b_walk_rss_change,
+    "fig3": figures.fig3_multipath_factor,
+    "fig4": figures.fig4_temporal_stability,
+    "fig5": figures.fig5_aoa,
+    "fig10": figures.fig10_angle_errors,
+    "fig12": figures.fig12_packet_sweep,
+}
+
+
+def _to_serializable(value: Any) -> Any:
+    """Convert NumPy containers and dataclass-like values to JSON-friendly data."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _to_serializable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_serializable(v) for v in value]
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {k: _to_serializable(v) for k, v in vars(value).items()}
+    return value
+
+
+def _build_config(args: argparse.Namespace) -> EvaluationConfig:
+    return EvaluationConfig(
+        seed=args.seed,
+        windows_per_location=args.windows_per_location,
+        window_packets=args.window_packets,
+    )
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("campaign figures :", ", ".join(sorted(_CAMPAIGN_FIGURES)))
+    print("standalone figures:", ", ".join(sorted(_STANDALONE_FIGURES)))
+    print("other commands    : headline, list")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    result = run_evaluation(_build_config(args))
+    print(json.dumps(_to_serializable(result.headline()), indent=2))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in _CAMPAIGN_FIGURES:
+        result = run_evaluation(_build_config(args))
+        data = _CAMPAIGN_FIGURES[name](result)
+    elif name in _STANDALONE_FIGURES:
+        data = _STANDALONE_FIGURES[name](seed=args.seed)
+    else:
+        known = sorted(set(_CAMPAIGN_FIGURES) | set(_STANDALONE_FIGURES))
+        print(f"unknown figure {name!r}; known figures: {', '.join(known)}", file=sys.stderr)
+        return 2
+    print(json.dumps(_to_serializable(data), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ICDCS 2015 multipath device-free detection paper",
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="campaign seed")
+    parser.add_argument(
+        "--windows-per-location", type=int, default=3, help="monitoring bursts per grid position"
+    )
+    parser.add_argument(
+        "--window-packets", type=int, default=25, help="packets per monitoring window"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+    sub.add_parser("headline", help="run the campaign and print headline numbers").set_defaults(
+        func=_cmd_headline
+    )
+    figure = sub.add_parser("figure", help="regenerate one figure's data as JSON")
+    figure.add_argument("name", help="figure identifier, e.g. fig7 or fig2a")
+    figure.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

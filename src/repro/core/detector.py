@@ -1,0 +1,299 @@
+"""Device-free human detection pipelines (Section IV-C, Section V-A).
+
+All detectors share the paper's two-stage structure:
+
+* **Calibration** — collect N CSI packets of the empty environment, sanitise
+  them, store the mean amplitude profile ``s^(0)`` and (for the combined
+  scheme) the static angular pseudospectrum and its path weights.
+* **Monitoring** — collect M packets, compute a scalar detection score and
+  compare it against a threshold.
+
+Three schemes are implemented, matching the evaluation's comparison:
+
+* :class:`BaselineDetector` — Euclidean distance of raw CSI amplitudes.
+* :class:`SubcarrierWeightingDetector` — Euclidean distance of
+  subcarrier-weighted RSS changes (Eq. 15).
+* :class:`SubcarrierPathWeightingDetector` — Euclidean distance of
+  path-weighted angular pseudospectra computed from subcarrier-weighted CSI
+  (the full scheme).
+
+The single-antenna schemes report their score averaged across the available
+antennas, exactly as the paper does "for fair comparison".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.aoa.music import PseudoSpectrum
+from repro.core.path_weighting import PathWeighting
+from repro.core.subcarrier_weighting import SubcarrierWeighting, SubcarrierWeights
+from repro.csi.calibration import sanitize_trace
+from repro.csi.trace import CSITrace
+from repro.utils.convert import power_to_db
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one monitoring window.
+
+    Attributes
+    ----------
+    score:
+        The detection statistic (larger = stronger evidence of a person).
+    threshold:
+        The threshold the score was compared against.
+    detected:
+        True when ``score > threshold``.
+    """
+
+    score: float
+    threshold: float
+    detected: bool
+
+
+class _BaseDetector:
+    """Common calibration plumbing shared by the three schemes."""
+
+    def __init__(self, *, sanitize: bool = True) -> None:
+        self.sanitize = sanitize
+        self._profile_amplitude: np.ndarray | None = None
+        self._calibration_trace: CSITrace | None = None
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    def calibrate(self, baseline: CSITrace) -> None:
+        """Store the static (no human) profile from a calibration trace."""
+        if baseline.num_packets < 2:
+            raise ValueError(
+                "calibration requires at least 2 packets, "
+                f"got {baseline.num_packets}"
+            )
+        trace = sanitize_trace(baseline) if self.sanitize else baseline
+        self._calibration_trace = trace
+        self._profile_amplitude = trace.mean_amplitude()
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether :meth:`calibrate` has been called."""
+        return self._profile_amplitude is not None
+
+    def _require_calibration(self) -> None:
+        if not self.is_calibrated:
+            raise RuntimeError(
+                f"{type(self).__name__} must be calibrated before monitoring"
+            )
+
+    def _prepare(self, window: CSITrace) -> CSITrace:
+        if window.num_packets < 1:
+            raise ValueError("monitoring window must contain at least one packet")
+        return sanitize_trace(window) if self.sanitize else window
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+    def score(self, window: CSITrace) -> float:
+        """Detection statistic of a monitoring window (higher = human)."""
+        raise NotImplementedError
+
+    def detect(self, window: CSITrace, threshold: float) -> DetectionResult:
+        """Score a window and compare it against *threshold*."""
+        value = self.score(window)
+        return DetectionResult(score=value, threshold=threshold, detected=value > threshold)
+
+
+class BaselineDetector(_BaseDetector):
+    """Euclidean distance of CSI amplitudes (the paper's baseline scheme).
+
+    The score is the Euclidean distance between the mean CSI amplitude of the
+    monitoring window and the calibration profile, averaged over antennas.
+    """
+
+    def score(self, window: CSITrace) -> float:
+        self._require_calibration()
+        window = self._prepare(window)
+        mean_amplitude = window.mean_amplitude()
+        assert self._profile_amplitude is not None
+        distances = np.linalg.norm(mean_amplitude - self._profile_amplitude, axis=1)
+        return float(distances.mean())
+
+
+class SubcarrierWeightingDetector(_BaseDetector):
+    """Euclidean distance of subcarrier-weighted RSS changes (Eq. 15).
+
+    Parameters
+    ----------
+    use_stability_ratio:
+        Forwarded to :class:`~repro.core.subcarrier_weighting.SubcarrierWeighting`;
+        False gives the per-packet Eq. 12 ablation variant.
+    sanitize:
+        Whether to phase-sanitise traces before processing.
+    """
+
+    def __init__(
+        self, *, use_stability_ratio: bool = True, sanitize: bool = True
+    ) -> None:
+        super().__init__(sanitize=sanitize)
+        self.weighting = SubcarrierWeighting(use_stability_ratio=use_stability_ratio)
+
+    def score(self, window: CSITrace) -> float:
+        self._require_calibration()
+        window = self._prepare(window)
+        assert self._profile_amplitude is not None
+        weights = self.weighting.weights_from_trace(window)
+        profile_rss = power_to_db(self._profile_amplitude**2)
+        window_rss = power_to_db(window.mean_amplitude() ** 2)
+        delta_s = window_rss - profile_rss
+        weighted = weights.apply(delta_s)
+        # Weighted RMS: dividing by the weight-vector norm makes the score a
+        # weighted root-mean-square RSS change in dB, so one global threshold
+        # (the paper applies a single threshold across all cases) remains
+        # meaningful whether the weights concentrate on a few subcarriers or
+        # spread evenly.
+        weight_norms = np.linalg.norm(weights.weights, axis=1)
+        distances = np.linalg.norm(weighted, axis=1) / np.maximum(weight_norms, 1e-12)
+        return float(distances.mean())
+
+    def last_weights(self, window: CSITrace) -> SubcarrierWeights:
+        """Expose the weights computed for a window (diagnostics, figures)."""
+        window = self._prepare(window)
+        return self.weighting.weights_from_trace(window)
+
+
+class SubcarrierPathWeightingDetector(_BaseDetector):
+    """The full scheme: subcarrier weighting + path-weighted angular spectra.
+
+    During calibration the static angular spectrum is computed and inverted
+    into path weights (Eq. 17, gated to ±60° by default).  During monitoring
+    the window's CSI is subcarrier-weighted, transformed into an angular
+    spectrum, path-weighted, and compared with the equally processed static
+    profile by Euclidean distance.
+
+    Parameters
+    ----------
+    spectrum_estimator:
+        Any estimator exposing ``pseudospectrum(csi) -> PseudoSpectrum``
+        bound to the receive array — typically a
+        :class:`~repro.aoa.bartlett.BartlettEstimator` (power-calibrated
+        angular spectrum, the library default for detection) or a
+        :class:`~repro.aoa.music.MusicEstimator` (the paper's literal choice;
+        sharper peaks but scale-free values).  See DESIGN.md for the
+        trade-off.
+    theta_min_deg, theta_max_deg:
+        Angular gate of the path weights.
+    use_stability_ratio:
+        Subcarrier weighting variant (see :class:`SubcarrierWeightingDetector`).
+    sanitize:
+        Whether to phase-sanitise traces before processing.
+    """
+
+    def __init__(
+        self,
+        spectrum_estimator,
+        *,
+        theta_min_deg: float = -60.0,
+        theta_max_deg: float = 60.0,
+        use_stability_ratio: bool = True,
+        sanitize: bool = True,
+    ) -> None:
+        super().__init__(sanitize=sanitize)
+        if not hasattr(spectrum_estimator, "pseudospectrum"):
+            raise TypeError(
+                "spectrum_estimator must provide a pseudospectrum(csi) method, "
+                f"got {type(spectrum_estimator).__name__}"
+            )
+        self.spectrum_estimator = spectrum_estimator
+        self.theta_min_deg = theta_min_deg
+        self.theta_max_deg = theta_max_deg
+        self.weighting = SubcarrierWeighting(use_stability_ratio=use_stability_ratio)
+        self._path_weighting: PathWeighting | None = None
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    def calibrate(self, baseline: CSITrace) -> None:
+        super().calibrate(baseline)
+        assert self._calibration_trace is not None
+        # Path weights come from the *unweighted* static environment: this is
+        # the calibration-stage MUSIC/Bartlett pass of Section IV-C, which
+        # only needs to know where the static propagation paths arrive from.
+        raw_static = self.spectrum_estimator.pseudospectrum(self._calibration_trace.csi)
+        if float(np.sum(raw_static.values)) <= 0:
+            raise ValueError("calibration produced a spectrum with no power")
+        self._path_weighting = PathWeighting(
+            static_spectrum=raw_static,
+            theta_min_deg=self.theta_min_deg,
+            theta_max_deg=self.theta_max_deg,
+        )
+
+    @property
+    def path_weighting(self) -> PathWeighting:
+        """The path weighting derived at calibration time."""
+        self._require_calibration()
+        assert self._path_weighting is not None
+        return self._path_weighting
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _apply_subcarrier_weights(csi: np.ndarray, weights: SubcarrierWeights) -> np.ndarray:
+        """Scale complex CSI by the per-subcarrier weights.
+
+        Weights act on signal power, so amplitudes are scaled by the square
+        root of the normalised weights before the spatial processing.
+        """
+        return csi * np.sqrt(weights.weights)[None, :, :]
+
+    def _weighted_csi(self, window: CSITrace) -> np.ndarray:
+        """The window's CSI scaled by its own subcarrier weights."""
+        weights = self.weighting.weights_from_trace(window)
+        return self._apply_subcarrier_weights(window.csi, weights)
+
+    def _weighted_spectra(
+        self, window: CSITrace
+    ) -> tuple[PseudoSpectrum, PseudoSpectrum]:
+        """(monitored, static) angular spectra under the window's weights.
+
+        The subcarrier weights are measured at runtime from the monitoring
+        window (Section IV-A2) and the *same* weights are applied to the
+        stored calibration CSI "before subtracting them" (Section IV-C), so
+        the two spectra differ only through genuine channel changes and not
+        through the weighting itself.
+        """
+        self._require_calibration()
+        assert self._calibration_trace is not None
+        weights = self.weighting.weights_from_trace(window)
+        monitored_csi = self._apply_subcarrier_weights(window.csi, weights)
+        static_csi = self._apply_subcarrier_weights(self._calibration_trace.csi, weights)
+        monitored = self.spectrum_estimator.pseudospectrum(monitored_csi)
+        static = self.spectrum_estimator.pseudospectrum(static_csi)
+        return monitored, static
+
+    def monitored_spectrum(self, window: CSITrace) -> PseudoSpectrum:
+        """Angular spectrum of a monitoring window after subcarrier weighting."""
+        window = self._prepare(window)
+        monitored, _ = self._weighted_spectra(window)
+        return monitored
+
+    def score(self, window: CSITrace) -> float:
+        self._require_calibration()
+        assert self._path_weighting is not None
+        window = self._prepare(window)
+        monitored, static = self._weighted_spectra(window)
+        weighted_monitored = self._path_weighting.apply(monitored)
+        weighted_static = self._path_weighting.apply(static)
+        # Express the distance in units of relative per-direction power
+        # change (the path weights invert the static spectrum, so the
+        # weighted static spectrum is flat inside the gate); dividing by its
+        # peak makes one global threshold transfer across link cases with
+        # very different absolute received powers.
+        reference = float(np.max(weighted_static))
+        if reference <= 0:
+            raise ValueError("path-weighted static spectrum has no power inside the gate")
+        difference = (weighted_monitored - weighted_static) / reference
+        return float(np.linalg.norm(difference))

@@ -1,0 +1,79 @@
+"""Fade level — the related-work metric the multipath factor is compared to.
+
+Wilson & Patwari [12] characterise link behaviour for device-free
+localisation with the *fade level*: the difference between the RSS actually
+measured on a link and the RSS predicted by a distance-based propagation
+formula.  Links in an "anti-fade" state (measured above prediction) behave
+like clean LOS links, while deep-fade links react erratically.
+
+The paper contrasts its multipath factor with the fade level on two counts:
+the multipath factor needs no propagation formula (which "might lose effect
+in practice"), and it is available per subcarrier from a single packet.  The
+fade level is implemented here so the ablation benchmark can reproduce that
+comparison on identical simulated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.constants import CHANNEL_11_CENTER_HZ
+from repro.channel.propagation import PropagationModel
+from repro.csi.trace import CSITrace
+from repro.utils.convert import power_to_db
+
+
+def predicted_rss_db(
+    distance_m: float,
+    *,
+    propagation: PropagationModel | None = None,
+    frequency_hz: float = CHANNEL_11_CENTER_HZ,
+) -> float:
+    """RSS predicted by the free-space formula for a link of *distance_m*."""
+    if distance_m <= 0:
+        raise ValueError(f"distance_m must be > 0, got {distance_m}")
+    model = propagation if propagation is not None else PropagationModel()
+    return model.received_power_db(distance_m, frequency_hz)
+
+
+def fade_level_db(
+    measured_csi: np.ndarray | CSITrace,
+    distance_m: float,
+    *,
+    propagation: PropagationModel | None = None,
+    frequency_hz: float = CHANNEL_11_CENTER_HZ,
+) -> float:
+    """Fade level of a link: measured mean RSS minus formula-predicted RSS (dB).
+
+    Positive values indicate an anti-fade (constructive) state, negative
+    values a deep fade.
+
+    Parameters
+    ----------
+    measured_csi:
+        A CSI trace or complex array whose mean power represents the measured
+        RSS of the link.
+    distance_m:
+        TX-RX distance fed to the propagation formula.
+    propagation:
+        Propagation model used for the prediction; must match the model that
+        generated the data for the comparison to be meaningful, which is
+        precisely the practical fragility the paper points out.
+    frequency_hz:
+        Carrier frequency for the prediction.
+    """
+    if isinstance(measured_csi, CSITrace):
+        power = float(measured_csi.power().mean())
+    else:
+        measured = np.asarray(measured_csi)
+        power = float(np.mean(np.abs(measured) ** 2))
+    measured_db = float(power_to_db(power))
+    predicted_db = predicted_rss_db(
+        distance_m, propagation=propagation, frequency_hz=frequency_hz
+    )
+    return measured_db - predicted_db
+
+
+def is_anti_fade(fade_level: float) -> bool:
+    """Whether a fade level corresponds to the anti-fade (LOS-like) regime."""
+    return fade_level >= 0.0

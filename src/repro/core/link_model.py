@@ -1,0 +1,218 @@
+"""Analytic one-bounce characterization of a multipath link (Section III-B).
+
+The paper models the simplest multipath link — a LOS path plus a single
+reflected path — and derives how the per-subcarrier RSS changes when a person
+either *shadows* the LOS path or *creates* an extra reflection:
+
+* no person (Eq. 2):       ``h_N = a_L e^{-j phi_L} + a_R e^{-j phi_R}``
+* multipath factor (Eq. 3): ``mu = gamma^2 / (gamma^2 + 1 + 2 gamma cos(phi))``
+  with ``gamma = a_L / a_R`` and ``phi`` the reflected path's excess phase.
+* shadowing (Eq. 4–6):      the LOS amplitude is scaled by ``beta < 1`` and
+  the RSS change is ``Delta_s_S = 10 lg [beta + (1 - beta)(1 - beta gamma^2)/gamma^2 * mu]``.
+* reflection (Eq. 7–8):     a new path with relative amplitude ``eta`` and
+  phase ``phi'`` is added and the RSS change is
+  ``Delta_s_R = 10 lg {1 + (eta^2 + 2 eta [gamma cos(phi') + cos(phi' - phi)]) / gamma^2 * mu}``.
+
+The model is the ground truth against which the measurable multipath factor
+(:mod:`repro.core.multipath_factor`) is validated, and it drives the
+analytical figures and the property-based tests on sign behaviour
+(RSS can rise as well as drop — the paper's "Diverse Link Behaviors").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class OneBounceLinkModel:
+    """A LOS path plus a single environment reflection.
+
+    Parameters
+    ----------
+    gamma:
+        Amplitude ratio ``a_L / a_R`` between the LOS and reflected paths;
+        the paper assumes ``gamma > 1`` (the LOS is the stronger path).
+    phi:
+        Phase of the reflected path relative to the LOS path, in radians
+        (``phi_L = 0`` by synchronisation, Eq. 3).
+    """
+
+    gamma: float
+    phi: float
+
+    def __post_init__(self) -> None:
+        check_positive("gamma", self.gamma)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_excess_distance(
+        cls, gamma: float, excess_distance_m: float, frequency_hz: float
+    ) -> "OneBounceLinkModel":
+        """Build the model from the reflected path's excess length.
+
+        The paper notes ``phi = 2 pi f delta_d / c`` (Section III-B3), which
+        is how frequency diversity enters: the same geometry produces a
+        different superposition state on every subcarrier.
+        """
+        from repro.channel.constants import SPEED_OF_LIGHT
+
+        phi = 2.0 * math.pi * frequency_hz * excess_distance_m / SPEED_OF_LIGHT
+        return cls(gamma=gamma, phi=phi)
+
+    # ------------------------------------------------------------------ #
+    # Eq. 2 / Eq. 3
+    # ------------------------------------------------------------------ #
+    def baseline_cir(self) -> complex:
+        """Complex channel with no person present, ``h_N`` (LOS amplitude 1).
+
+        Without loss of generality the LOS amplitude is normalised to 1 and
+        the reflected amplitude is ``1 / gamma``.
+        """
+        return 1.0 + (1.0 / self.gamma) * np.exp(-1j * self.phi)
+
+    def multipath_factor(self) -> float:
+        """The multipath factor ``mu`` of Eq. 3."""
+        g = self.gamma
+        return g**2 / (g**2 + 1.0 + 2.0 * g * math.cos(self.phi))
+
+    # ------------------------------------------------------------------ #
+    # Eq. 4 – Eq. 6 : human-induced shadowing
+    # ------------------------------------------------------------------ #
+    def shadowed_cir(self, beta: float) -> complex:
+        """Channel with the LOS amplitude attenuated by ``beta`` (Eq. 4)."""
+        self._check_beta(beta)
+        return beta + (1.0 / self.gamma) * np.exp(-1j * self.phi)
+
+    def shadowing_rss_change_exact(self, beta: float) -> float:
+        """Exact RSS change under shadowing, Eq. 5 (in dB)."""
+        self._check_beta(beta)
+        g, phi = self.gamma, self.phi
+        numerator = beta**2 * g**2 + 1.0 + 2.0 * beta * g * math.cos(phi)
+        denominator = g**2 + 1.0 + 2.0 * g * math.cos(phi)
+        ratio = numerator / denominator
+        if ratio <= 0:
+            # Exact cancellation of the shadowed channel; bound the result as
+            # in the mu-form so downstream numerics stay finite.
+            return -300.0
+        return 10.0 * math.log10(ratio)
+
+    def shadowing_rss_change_mu(self, beta: float) -> float:
+        """RSS change under shadowing expressed through ``mu``, Eq. 6 (dB)."""
+        self._check_beta(beta)
+        g = self.gamma
+        mu = self.multipath_factor()
+        argument = beta + (1.0 - beta) * ((1.0 - beta * g**2) / g**2) * mu
+        if argument <= 0:
+            # Perfect cancellation: the RSS change is unbounded below.  Return
+            # a large negative value instead of -inf so downstream numerics
+            # stay finite (the exact formula hits the same singularity).
+            return -300.0
+        return 10.0 * math.log10(argument)
+
+    def shadowing_increases_rss(self, beta: float) -> bool:
+        """Whether shadowing *raises* the RSS (the paper's surprising case).
+
+        The paper's condition is ``cos(phi) < -gamma (beta + 1) / 2`` is
+        mis-typed in the text (the bound exceeds 1 for gamma > 1); the
+        operative statement — destructive superposition can make obstruction
+        of the LOS *increase* the received power — is evaluated here directly
+        from Eq. 5.
+        """
+        return self.shadowing_rss_change_exact(beta) > 0.0
+
+    # ------------------------------------------------------------------ #
+    # Eq. 7 – Eq. 8 : human-created reflection
+    # ------------------------------------------------------------------ #
+    def reflection_cir(self, eta: float, phi_new: float) -> complex:
+        """Channel with an additional human-created path (Eq. 7).
+
+        Parameters
+        ----------
+        eta:
+            Amplitude of the new path relative to the environment reflection
+            (``eta = a'_R / a_R``).
+        phi_new:
+            Phase of the new path relative to the LOS path, radians.
+        """
+        check_positive("eta", eta, strict=False)
+        return (
+            1.0
+            + (1.0 / self.gamma) * np.exp(-1j * self.phi)
+            + (eta / self.gamma) * np.exp(-1j * phi_new)
+        )
+
+    def reflection_rss_change_exact(self, eta: float, phi_new: float) -> float:
+        """Exact RSS change when a human-created path is added (dB)."""
+        h_n = self.baseline_cir()
+        h_r = self.reflection_cir(eta, phi_new)
+        ratio = (abs(h_r) / abs(h_n)) ** 2
+        if ratio <= 0:
+            return -300.0
+        return 10.0 * math.log10(ratio)
+
+    def reflection_rss_change_mu(self, eta: float, phi_new: float) -> float:
+        """RSS change under human reflection expressed through ``mu``, Eq. 8 (dB)."""
+        check_positive("eta", eta, strict=False)
+        g = self.gamma
+        mu = self.multipath_factor()
+        bracket = g * math.cos(phi_new) + math.cos(phi_new - self.phi)
+        argument = 1.0 + (eta**2 + 2.0 * eta * bracket) / g**2 * mu
+        if argument <= 0:
+            return -300.0
+        return 10.0 * math.log10(argument)
+
+    # ------------------------------------------------------------------ #
+    # reference behaviours
+    # ------------------------------------------------------------------ #
+    def los_only_rss_change(self, beta: float) -> float:
+        """RSS change of a pure LOS link under shadowing, ``10 lg beta^2`` (dB).
+
+        This is the paper's reference point: with no multipath the change is
+        always a drop; a multipath link can beat it in magnitude
+        (``|Delta_s_S| > |10 lg beta^2|``) when the superposition is
+        destructive enough.
+        """
+        self._check_beta(beta)
+        return 10.0 * math.log10(beta**2)
+
+    def sensitivity_gain_over_los(self, beta: float) -> float:
+        """|Delta_s_S| − |Delta_s_LOS|: positive when multipath helps detection."""
+        return abs(self.shadowing_rss_change_exact(beta)) - abs(
+            self.los_only_rss_change(beta)
+        )
+
+    @staticmethod
+    def _check_beta(beta: float) -> None:
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+
+
+def sweep_multipath_factor(
+    gamma: float, phases: np.ndarray
+) -> np.ndarray:
+    """Multipath factor ``mu`` of Eq. 3 over an array of reflected-path phases."""
+    phases = np.asarray(phases, dtype=float)
+    check_positive("gamma", gamma)
+    return gamma**2 / (gamma**2 + 1.0 + 2.0 * gamma * np.cos(phases))
+
+
+def sweep_shadowing_rss_change(
+    gamma: float, phases: np.ndarray, beta: float
+) -> np.ndarray:
+    """Eq. 5 evaluated over an array of reflected-path phases (dB)."""
+    phases = np.asarray(phases, dtype=float)
+    check_positive("gamma", gamma)
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")
+    numerator = beta**2 * gamma**2 + 1.0 + 2.0 * beta * gamma * np.cos(phases)
+    denominator = gamma**2 + 1.0 + 2.0 * gamma * np.cos(phases)
+    ratio = np.maximum(numerator / denominator, 1e-30)
+    return 10.0 * np.log10(ratio)

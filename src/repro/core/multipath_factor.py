@@ -1,0 +1,162 @@
+"""The measurable multipath factor ``mu_k`` (Section IV-A1, Eq. 9–11).
+
+The multipath factor of subcarrier ``f_k`` is the ratio between the LOS power
+on that subcarrier and its total received power:
+
+    mu_k = P_L(f_k) / |H(f_k)|^2                                   (Eq. 11)
+
+The total received power per subcarrier comes directly from the CSI
+amplitude.  The LOS power cannot be isolated per subcarrier with 20 MHz of
+bandwidth, so the paper uses two approximations:
+
+1. The power of the dominant time-domain tap ``|h^(0)|^2`` (IDFT of the CSI)
+   approximates the combined LOS power across the band (following [11], [21]).
+2. That power is apportioned to individual subcarriers proportionally to
+   ``f_k^{-2}``, because free-space attenuation of the same physical path is
+   inverse-proportional to the squared frequency (Eq. 9–10):
+
+    P_L(f_k) = f_k^{-2} / (sum_i f_i^{-2}) * |h^(0)|^2             (Eq. 10)
+
+The absolute scale of ``mu_k`` therefore carries the arbitrary constant of
+the dominant-tap approximation; what the detection pipeline relies on — and
+what Fig. 3 demonstrates — is that ``mu_k`` varies monotonically with the
+link's sensitivity to human presence, and that its *relative* values across
+subcarriers rank them by sensitivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.constants import subcarrier_frequencies
+from repro.channel.ofdm import dominant_tap_power
+from repro.csi.format import CSIFrame
+from repro.csi.trace import CSITrace
+
+
+def los_power_per_subcarrier(
+    csi_row: np.ndarray, frequencies: np.ndarray | None = None
+) -> np.ndarray:
+    """Apportion the dominant-tap power across subcarriers (Eq. 10).
+
+    Parameters
+    ----------
+    csi_row:
+        Complex CSI of one antenna, shape ``(num_subcarriers,)``.
+    frequencies:
+        Absolute subcarrier frequencies in Hz; defaults to the Intel 5300
+        grid on channel 11.
+
+    Returns
+    -------
+    numpy.ndarray
+        Estimated LOS power on every subcarrier, shape ``(num_subcarriers,)``.
+    """
+    csi_row = np.asarray(csi_row)
+    if csi_row.ndim != 1:
+        raise ValueError(f"csi_row must be 1-D, got shape {csi_row.shape}")
+    freqs = (
+        np.asarray(frequencies, dtype=float)
+        if frequencies is not None
+        else subcarrier_frequencies()
+    )
+    if freqs.shape != csi_row.shape:
+        raise ValueError(
+            f"frequencies shape {freqs.shape} does not match csi shape {csi_row.shape}"
+        )
+    total_los_power = dominant_tap_power(csi_row)
+    inverse_f2 = freqs**-2.0
+    weights = inverse_f2 / inverse_f2.sum()
+    return weights * total_los_power
+
+
+def multipath_factor(
+    csi: np.ndarray | CSIFrame, frequencies: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-subcarrier multipath factor ``mu_k`` of one packet (Eq. 11).
+
+    Parameters
+    ----------
+    csi:
+        A :class:`~repro.csi.format.CSIFrame` or a complex array of shape
+        ``(num_antennas, num_subcarriers)`` (a 1-D array is treated as a
+        single antenna).
+    frequencies:
+        Absolute subcarrier frequencies; defaults to the Intel 5300 grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        Multipath factors of shape ``(num_antennas, num_subcarriers)``.
+    """
+    if isinstance(csi, CSIFrame):
+        matrix = csi.csi
+        if frequencies is None:
+            frequencies = csi.frequencies()
+    else:
+        matrix = np.asarray(csi)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"csi must have shape (antennas, subcarriers), got {matrix.shape}"
+        )
+    factors = np.empty(matrix.shape, dtype=float)
+    for antenna in range(matrix.shape[0]):
+        row = matrix[antenna]
+        los_power = los_power_per_subcarrier(row, frequencies)
+        total_power = np.abs(row) ** 2
+        factors[antenna] = los_power / np.maximum(total_power, 1e-30)
+    return factors
+
+
+def multipath_factor_trace(
+    trace: CSITrace, frequencies: np.ndarray | None = None
+) -> np.ndarray:
+    """Multipath factors for every packet of a trace.
+
+    Returns an array of shape ``(num_packets, num_antennas, num_subcarriers)``.
+    """
+    factors = np.empty(trace.csi.shape, dtype=float)
+    for p in range(trace.num_packets):
+        factors[p] = multipath_factor(trace.csi[p], frequencies)
+    return factors
+
+
+def temporal_mean_factor(factors: np.ndarray) -> np.ndarray:
+    """Temporal mean ``mu_bar_k`` over the packet axis (Eq. 15 ingredient)."""
+    factors = np.asarray(factors, dtype=float)
+    if factors.ndim != 3:
+        raise ValueError(
+            "factors must have shape (packets, antennas, subcarriers), "
+            f"got {factors.shape}"
+        )
+    return factors.mean(axis=0)
+
+
+def stability_ratio(factors: np.ndarray) -> np.ndarray:
+    """Fraction of packets where ``mu_k`` exceeds the per-packet median (Eq. 13–14).
+
+    A subcarrier that is consistently above the median multipath factor of
+    its packet is temporally stable and deserves a higher weight; one that
+    only occasionally spikes is penalised.
+
+    Parameters
+    ----------
+    factors:
+        Multipath factors of shape ``(packets, antennas, subcarriers)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Ratios ``r_k`` in ``[0, 1]`` of shape ``(antennas, subcarriers)``.
+    """
+    factors = np.asarray(factors, dtype=float)
+    if factors.ndim != 3:
+        raise ValueError(
+            "factors must have shape (packets, antennas, subcarriers), "
+            f"got {factors.shape}"
+        )
+    medians = np.median(factors, axis=2, keepdims=True)
+    exceeds = factors > medians
+    return exceeds.mean(axis=0)

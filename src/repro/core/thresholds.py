@@ -1,0 +1,149 @@
+"""Detection thresholds and Receiver Operating Characteristic curves.
+
+The paper evaluates its schemes with ROC curves (Fig. 7), then picks "a
+general threshold for balanced detection accuracy" and reuses it in the other
+figures.  This module provides exactly that: an ROC sweep over detection
+scores and the balanced-accuracy (Youden) threshold selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver operating characteristic curve.
+
+    Attributes
+    ----------
+    thresholds:
+        Score thresholds, in decreasing order of strictness.
+    true_positive_rates:
+        Fraction of human-present windows whose score exceeds each threshold.
+    false_positive_rates:
+        Fraction of empty windows whose score exceeds each threshold.
+    """
+
+    thresholds: np.ndarray
+    true_positive_rates: np.ndarray
+    false_positive_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.thresholds, dtype=float)
+        tpr = np.asarray(self.true_positive_rates, dtype=float)
+        fpr = np.asarray(self.false_positive_rates, dtype=float)
+        if not (t.shape == tpr.shape == fpr.shape) or t.ndim != 1:
+            raise ValueError("thresholds, TPR and FPR must be 1-D arrays of equal length")
+        object.__setattr__(self, "thresholds", t)
+        object.__setattr__(self, "true_positive_rates", tpr)
+        object.__setattr__(self, "false_positive_rates", fpr)
+
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoidal, in FPR order)."""
+        # Sort by FPR with TPR as the tie-breaker so vertical segments of the
+        # curve are traversed upwards and the trapezoids integrate correctly.
+        order = np.lexsort((self.true_positive_rates, self.false_positive_rates))
+        fpr = self.false_positive_rates[order]
+        tpr = self.true_positive_rates[order]
+        # Anchor the curve at (0, 0) and (1, 1) so partial sweeps integrate
+        # over the full FPR axis.
+        fpr = np.concatenate(([0.0], fpr, [1.0]))
+        tpr = np.concatenate(([0.0], tpr, [1.0]))
+        return float(np.trapezoid(tpr, fpr))
+
+    def balanced_point(self) -> tuple[float, float, float]:
+        """(threshold, TPR, FPR) maximising the balanced accuracy.
+
+        Balanced accuracy is ``(TPR + (1 - FPR)) / 2``; its maximiser is the
+        Youden point of the curve.
+        """
+        balanced = (self.true_positive_rates + (1.0 - self.false_positive_rates)) / 2.0
+        best = int(np.argmax(balanced))
+        return (
+            float(self.thresholds[best]),
+            float(self.true_positive_rates[best]),
+            float(self.false_positive_rates[best]),
+        )
+
+    def operating_point(self, max_false_positive: float) -> tuple[float, float, float]:
+        """(threshold, TPR, FPR) with the highest TPR subject to an FPR cap."""
+        if not 0.0 <= max_false_positive <= 1.0:
+            raise ValueError(
+                f"max_false_positive must be in [0, 1], got {max_false_positive}"
+            )
+        eligible = self.false_positive_rates <= max_false_positive
+        if not np.any(eligible):
+            # Fall back to the strictest threshold available.
+            best = int(np.argmin(self.false_positive_rates))
+        else:
+            candidates = np.where(eligible)[0]
+            best = int(candidates[np.argmax(self.true_positive_rates[candidates])])
+        return (
+            float(self.thresholds[best]),
+            float(self.true_positive_rates[best]),
+            float(self.false_positive_rates[best]),
+        )
+
+
+def roc_curve(
+    positive_scores: Sequence[float],
+    negative_scores: Sequence[float],
+    *,
+    num_thresholds: int = 200,
+) -> RocCurve:
+    """ROC curve from detection scores of human-present and empty windows.
+
+    Parameters
+    ----------
+    positive_scores:
+        Scores of monitoring windows with a person present (higher = more
+        likely to be detected).
+    negative_scores:
+        Scores of windows with nobody present.
+    num_thresholds:
+        Number of threshold points swept between the smallest and largest
+        observed scores.
+    """
+    positive = np.asarray(list(positive_scores), dtype=float)
+    negative = np.asarray(list(negative_scores), dtype=float)
+    if positive.size == 0 or negative.size == 0:
+        raise ValueError("both positive and negative scores are required")
+    if num_thresholds < 2:
+        raise ValueError(f"num_thresholds must be >= 2, got {num_thresholds}")
+    all_scores = np.concatenate([positive, negative])
+    low, high = float(np.min(all_scores)), float(np.max(all_scores))
+    if high <= low:
+        high = low + 1e-9
+    span = high - low
+    thresholds = np.linspace(low - 0.001 * span, high + 0.001 * span, num_thresholds)
+    tpr = np.array([(positive > t).mean() for t in thresholds])
+    fpr = np.array([(negative > t).mean() for t in thresholds])
+    return RocCurve(
+        thresholds=thresholds, true_positive_rates=tpr, false_positive_rates=fpr
+    )
+
+
+def balanced_threshold(
+    positive_scores: Sequence[float], negative_scores: Sequence[float]
+) -> float:
+    """Threshold maximising balanced accuracy over the given scores."""
+    curve = roc_curve(positive_scores, negative_scores)
+    threshold, _, _ = curve.balanced_point()
+    return threshold
+
+
+def detection_rates_at_threshold(
+    positive_scores: Sequence[float],
+    negative_scores: Sequence[float],
+    threshold: float,
+) -> tuple[float, float]:
+    """(TPR, FPR) achieved by a fixed threshold on the given scores."""
+    positive = np.asarray(list(positive_scores), dtype=float)
+    negative = np.asarray(list(negative_scores), dtype=float)
+    if positive.size == 0 or negative.size == 0:
+        raise ValueError("both positive and negative scores are required")
+    return float((positive > threshold).mean()), float((negative > threshold).mean())

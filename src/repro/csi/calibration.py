@@ -1,0 +1,109 @@
+"""CSI phase sanitisation.
+
+Raw CSI phase is unusable as-is: every packet carries a random common phase
+(residual CFO) and a linear phase slope across subcarriers (SFO and packet
+detection delay).  The paper calibrates its raw CSI "as in [26]" (Sen et al.,
+*You Are Facing the Mona Lisa*), which removes exactly these two terms by a
+linear fit of the unwrapped phase against the subcarrier index.
+
+The sanitised phase preserves the *relative* phase structure across
+subcarriers and antennas, which is what the multipath factor and the MUSIC
+angle estimation consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.format import CSIFrame
+from repro.csi.trace import CSITrace
+
+
+def remove_linear_phase(csi: np.ndarray, subcarrier_indices: np.ndarray) -> np.ndarray:
+    """Remove a per-antenna linear phase (slope + offset) across subcarriers.
+
+    Parameters
+    ----------
+    csi:
+        Complex CSI of shape ``(antennas, subcarriers)``.
+    subcarrier_indices:
+        Subcarrier indices used as the abscissa of the linear fit; using the
+        true indices (not array positions) keeps the fit linear in frequency.
+
+    Returns
+    -------
+    numpy.ndarray
+        CSI with the fitted linear phase removed, same shape as the input.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    if csi.ndim != 2:
+        raise ValueError(f"csi must be 2-D (antennas x subcarriers), got {csi.shape}")
+    indices = np.asarray(subcarrier_indices, dtype=float)
+    if indices.shape != (csi.shape[1],):
+        raise ValueError(
+            f"subcarrier_indices has shape {indices.shape}, expected ({csi.shape[1]},)"
+        )
+    sanitized = np.empty_like(csi)
+    for antenna in range(csi.shape[0]):
+        phase = np.unwrap(np.angle(csi[antenna]))
+        slope, offset = np.polyfit(indices, phase, 1)
+        correction = slope * indices + offset
+        sanitized[antenna] = csi[antenna] * np.exp(-1j * correction)
+    return sanitized
+
+
+def remove_common_phase(csi: np.ndarray, reference_antenna: int = 0) -> np.ndarray:
+    """Rotate all antennas by the conjugate phase of a reference antenna.
+
+    This preserves the inter-antenna phase differences (what MUSIC needs)
+    while removing the packet-to-packet common phase, so that CSI from
+    different packets can be averaged coherently.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    if csi.ndim != 2:
+        raise ValueError(f"csi must be 2-D (antennas x subcarriers), got {csi.shape}")
+    if not 0 <= reference_antenna < csi.shape[0]:
+        raise IndexError(
+            f"reference_antenna {reference_antenna} out of range for {csi.shape[0]} antennas"
+        )
+    reference = csi[reference_antenna]
+    magnitude = np.abs(reference)
+    safe = np.where(magnitude > 1e-15, reference / np.maximum(magnitude, 1e-15), 1.0)
+    return csi * np.conj(safe)[None, :]
+
+
+def sanitize_frame(frame: CSIFrame, *, keep_inter_antenna_phase: bool = True) -> CSIFrame:
+    """Sanitise a single CSI frame.
+
+    Parameters
+    ----------
+    frame:
+        Raw frame from the collector.
+    keep_inter_antenna_phase:
+        When True (default), the linear-phase fit is computed on the first
+        antenna and the same correction applied to all antennas, preserving
+        the inter-antenna phase differences required for angle-of-arrival
+        estimation.  When False each antenna is fitted independently (the
+        amplitude-only pipeline does not care).
+    """
+    indices = np.asarray(frame.subcarrier_indices, dtype=float)
+    csi = frame.csi
+    if keep_inter_antenna_phase:
+        phase = np.unwrap(np.angle(csi[0]))
+        slope, offset = np.polyfit(indices, phase, 1)
+        correction = slope * indices + offset
+        sanitized = csi * np.exp(-1j * correction)[None, :]
+    else:
+        sanitized = remove_linear_phase(csi, indices)
+    return frame.with_csi(sanitized)
+
+
+def sanitize_trace(trace: CSITrace, *, keep_inter_antenna_phase: bool = True) -> CSITrace:
+    """Sanitise every frame of a trace (see :func:`sanitize_frame`)."""
+    frames = [
+        sanitize_frame(trace.frame(i), keep_inter_antenna_phase=keep_inter_antenna_phase)
+        for i in range(trace.num_packets)
+    ]
+    sanitized = CSITrace.from_frames(frames, label=trace.label)
+    sanitized.timestamps = trace.timestamps.copy()
+    return sanitized

@@ -1,0 +1,56 @@
+"""Subcarrier RSS extraction and RSS-change computation.
+
+The paper's detection features are built on the per-subcarrier received
+signal strength ``s(f_k) = 10 lg |H(f_k)|^2`` and its deviation from the
+calibration profile, ``delta_s(f_k) = s(f_k) - s^{(0)}(f_k)`` (Section III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csi.trace import CSITrace
+from repro.utils.convert import power_to_db
+
+
+def subcarrier_rss_db(csi: np.ndarray) -> np.ndarray:
+    """Per-subcarrier RSS in dB from complex CSI of any shape."""
+    return power_to_db(np.abs(np.asarray(csi)) ** 2)
+
+
+def rss_change_db(csi: np.ndarray, baseline_csi: np.ndarray) -> np.ndarray:
+    """RSS change (dB) of *csi* relative to a no-human baseline.
+
+    Both inputs may be single frames ``(antennas, subcarriers)`` or batches
+    ``(packets, antennas, subcarriers)``; the baseline is broadcast against
+    the measurement.
+    """
+    measurement = subcarrier_rss_db(csi)
+    baseline = subcarrier_rss_db(baseline_csi)
+    return measurement - baseline
+
+
+def trace_rss_change_db(trace: CSITrace, baseline: CSITrace) -> np.ndarray:
+    """Per-packet RSS change of a trace against a baseline trace.
+
+    The baseline profile is the mean amplitude of the baseline trace (the
+    paper's ``s^{(0)}``); the result has shape
+    ``(packets, antennas, subcarriers)``.
+    """
+    profile_power = baseline.mean_amplitude() ** 2
+    return power_to_db(trace.power()) - power_to_db(profile_power)[None, :, :]
+
+
+def mean_rss_change_db(trace: CSITrace, baseline: CSITrace) -> np.ndarray:
+    """Mean (over packets) RSS change per antenna and subcarrier."""
+    return trace_rss_change_db(trace, baseline).mean(axis=0)
+
+
+def rss_variance_db(trace: CSITrace) -> np.ndarray:
+    """Variance of the per-subcarrier RSS over packets.
+
+    The paper notes that the RSS mean detects stationary targets while the
+    variance is the usual feature for mobile targets [18]; exposing both lets
+    the examples explore either mode.
+    """
+    return trace.subcarrier_rss_db().var(axis=0)

@@ -1,0 +1,218 @@
+"""Containers for sequences of CSI frames (traces / captures).
+
+A :class:`CSITrace` corresponds to one measurement burst in the paper — for
+example the 5000-packet captures collected at each human location, or a
+walking trajectory.  It stores the frames as a single contiguous complex array
+for fast vectorised processing while still exposing frame-level access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.channel.constants import INTEL5300_SUBCARRIER_INDICES
+from repro.csi.format import CSIFrame
+from repro.utils.convert import power_to_db
+
+
+@dataclass
+class CSITrace:
+    """A time-ordered collection of CSI packets for a fixed link.
+
+    Parameters
+    ----------
+    csi:
+        Complex array of shape ``(num_packets, num_antennas, num_subcarriers)``.
+    timestamps:
+        Per-packet reception times in seconds; defaults to a uniform grid at
+        50 packets per second (the paper's pinging rate).
+    subcarrier_indices:
+        Frequency grid shared by every packet.
+    label:
+        Free-form metadata, e.g. ``"case-3/grid-(1,2)"`` or ``"empty"``.
+    """
+
+    csi: np.ndarray
+    timestamps: np.ndarray | None = None
+    subcarrier_indices: tuple[int, ...] = INTEL5300_SUBCARRIER_INDICES
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        csi = np.asarray(self.csi, dtype=complex)
+        if csi.ndim == 2:
+            csi = csi[:, None, :]
+        if csi.ndim != 3:
+            raise ValueError(
+                "csi must have shape (packets, antennas, subcarriers), "
+                f"got {csi.shape}"
+            )
+        if csi.shape[2] != len(self.subcarrier_indices):
+            raise ValueError(
+                f"csi has {csi.shape[2]} subcarriers but "
+                f"{len(self.subcarrier_indices)} indices were provided"
+            )
+        self.csi = csi
+        if self.timestamps is None:
+            self.timestamps = np.arange(csi.shape[0], dtype=float) / 50.0
+        else:
+            self.timestamps = np.asarray(self.timestamps, dtype=float)
+            if self.timestamps.shape != (csi.shape[0],):
+                raise ValueError(
+                    f"timestamps has shape {self.timestamps.shape}, expected "
+                    f"({csi.shape[0]},)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.csi.shape[0]
+
+    def __iter__(self) -> Iterator[CSIFrame]:
+        for i in range(len(self)):
+            yield self.frame(i)
+
+    def __getitem__(self, index: int | slice) -> "CSIFrame | CSITrace":
+        if isinstance(index, slice):
+            return CSITrace(
+                csi=self.csi[index],
+                timestamps=self.timestamps[index],
+                subcarrier_indices=self.subcarrier_indices,
+                label=self.label,
+            )
+        return self.frame(index)
+
+    def frame(self, index: int) -> CSIFrame:
+        """The *index*-th packet as a :class:`CSIFrame`."""
+        return CSIFrame(
+            csi=self.csi[index],
+            timestamp=float(self.timestamps[index]),
+            sequence_number=index,
+            subcarrier_indices=self.subcarrier_indices,
+        )
+
+    # ------------------------------------------------------------------ #
+    # shape accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_packets(self) -> int:
+        """Number of packets in the trace."""
+        return self.csi.shape[0]
+
+    @property
+    def num_antennas(self) -> int:
+        """Number of receive antennas."""
+        return self.csi.shape[1]
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of subcarriers."""
+        return self.csi.shape[2]
+
+    # ------------------------------------------------------------------ #
+    # vectorised views
+    # ------------------------------------------------------------------ #
+    def amplitude(self) -> np.ndarray:
+        """Linear amplitude, shape ``(packets, antennas, subcarriers)``."""
+        return np.abs(self.csi)
+
+    def power(self) -> np.ndarray:
+        """Received power ``|H|^2`` with the same shape as the trace."""
+        return np.abs(self.csi) ** 2
+
+    def subcarrier_rss_db(self) -> np.ndarray:
+        """Per-packet, per-antenna, per-subcarrier RSS in dB."""
+        return power_to_db(self.power())
+
+    def mean_csi(self) -> np.ndarray:
+        """Mean complex CSI over packets, shape ``(antennas, subcarriers)``."""
+        return self.csi.mean(axis=0)
+
+    def mean_amplitude(self) -> np.ndarray:
+        """Mean CSI amplitude over packets (the paper's static profile s(0))."""
+        return np.abs(self.csi).mean(axis=0)
+
+    def antenna(self, index: int) -> "CSITrace":
+        """Single-antenna view of the trace."""
+        if not 0 <= index < self.num_antennas:
+            raise IndexError(
+                f"antenna index {index} out of range for {self.num_antennas} antennas"
+            )
+        return CSITrace(
+            csi=self.csi[:, index : index + 1, :],
+            timestamps=self.timestamps,
+            subcarrier_indices=self.subcarrier_indices,
+            label=self.label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction / combination
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_frames(cls, frames: Sequence[CSIFrame], *, label: str = "") -> "CSITrace":
+        """Stack individual frames into a trace (they must agree in shape)."""
+        if not frames:
+            raise ValueError("from_frames requires at least one frame")
+        shapes = {frame.csi.shape for frame in frames}
+        if len(shapes) != 1:
+            raise ValueError(f"frames have inconsistent shapes: {shapes}")
+        indices = frames[0].subcarrier_indices
+        csi = np.stack([frame.csi for frame in frames])
+        timestamps = np.asarray([frame.timestamp for frame in frames], dtype=float)
+        return cls(csi=csi, timestamps=timestamps, subcarrier_indices=indices, label=label)
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["CSITrace"], *, label: str = "") -> "CSITrace":
+        """Concatenate several traces of the same link back to back."""
+        if not traces:
+            raise ValueError("concatenate requires at least one trace")
+        shapes = {(t.num_antennas, t.num_subcarriers) for t in traces}
+        if len(shapes) != 1:
+            raise ValueError(f"traces have inconsistent shapes: {shapes}")
+        csi = np.concatenate([t.csi for t in traces], axis=0)
+        timestamps = np.concatenate([t.timestamps for t in traces])
+        return cls(
+            csi=csi,
+            timestamps=timestamps,
+            subcarrier_indices=traces[0].subcarrier_indices,
+            label=label or traces[0].label,
+        )
+
+    def split(self, num_chunks: int) -> list["CSITrace"]:
+        """Split the trace into *num_chunks* nearly equal consecutive chunks."""
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+        if num_chunks > self.num_packets:
+            raise ValueError(
+                f"cannot split {self.num_packets} packets into {num_chunks} chunks"
+            )
+        bounds = np.linspace(0, self.num_packets, num_chunks + 1, dtype=int)
+        return [self[int(a) : int(b)] for a, b in zip(bounds[:-1], bounds[1:])]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | FilePath) -> None:
+        """Persist the trace to a ``.npz`` file."""
+        np.savez_compressed(
+            FilePath(path),
+            csi=self.csi,
+            timestamps=self.timestamps,
+            subcarrier_indices=np.asarray(self.subcarrier_indices),
+            label=np.asarray(self.label),
+        )
+
+    @classmethod
+    def load(cls, path: str | FilePath) -> "CSITrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(FilePath(path), allow_pickle=False) as data:
+            return cls(
+                csi=data["csi"],
+                timestamps=data["timestamps"],
+                subcarrier_indices=tuple(int(i) for i in data["subcarrier_indices"]),
+                label=str(data["label"]),
+            )

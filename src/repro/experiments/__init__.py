@@ -1,0 +1,56 @@
+"""Evaluation harness: scenarios, workloads, metrics and experiment drivers.
+
+This subpackage reproduces the paper's measurement campaigns (Section III and
+Section V) on top of the channel-simulator substrate.  Each figure of the
+paper has a generator in :mod:`repro.experiments.figures` returning the
+plotted data series; the benchmarks under ``benchmarks/`` call those
+generators and print the resulting rows.
+"""
+
+from repro.experiments.metrics import (
+    balanced_accuracy,
+    detection_rate,
+    false_positive_rate,
+    rates_by_group,
+)
+from repro.experiments.runner import (
+    EvaluationConfig,
+    EvaluationResult,
+    ScoredWindow,
+    run_case,
+    run_evaluation,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    classroom_scenario,
+    corner_link_scenario,
+    human_grid,
+    office_scenarios,
+)
+from repro.experiments.workloads import (
+    BackgroundDynamics,
+    EnvironmentDrift,
+    static_location_set,
+    walking_trajectory,
+)
+
+__all__ = [
+    "balanced_accuracy",
+    "detection_rate",
+    "false_positive_rate",
+    "rates_by_group",
+    "EvaluationConfig",
+    "EvaluationResult",
+    "ScoredWindow",
+    "run_case",
+    "run_evaluation",
+    "Scenario",
+    "classroom_scenario",
+    "corner_link_scenario",
+    "human_grid",
+    "office_scenarios",
+    "BackgroundDynamics",
+    "EnvironmentDrift",
+    "static_location_set",
+    "walking_trajectory",
+]

@@ -1,0 +1,387 @@
+"""End-to-end experiment driver reproducing the paper's evaluation campaign.
+
+The driver mirrors Section V-A's methodology: for every link case it collects
+a calibration profile of the empty environment, then monitoring windows for
+each human-grid position (positives) and for the empty room (negatives), all
+under background dynamics and slow environmental drift.  Every window is
+scored by the three detection schemes; the resulting
+:class:`EvaluationResult` feeds the ROC (Fig. 7), per-case (Fig. 8),
+per-distance (Fig. 9), per-angle (Fig. 11) and per-window-size (Fig. 12)
+figures as well as the headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.aoa.bartlett import BartlettEstimator
+from repro.aoa.music import MusicEstimator
+from repro.channel.channel import ChannelSimulator, Link
+from repro.channel.human import HumanBody
+from repro.channel.noise import ImpairmentModel
+from repro.channel.propagation import PropagationModel
+from repro.core.detector import (
+    BaselineDetector,
+    SubcarrierPathWeightingDetector,
+    SubcarrierWeightingDetector,
+)
+from repro.core.thresholds import RocCurve, detection_rates_at_threshold, roc_curve
+from repro.csi.collector import PacketCollector
+from repro.csi.trace import CSITrace
+from repro.experiments.metrics import bin_labels, rates_by_group
+from repro.experiments.scenarios import (
+    Scenario,
+    evaluation_cases,
+    grid_angle_to_receiver_deg,
+    grid_distance_to_receiver,
+    human_grid,
+)
+from repro.experiments.workloads import BackgroundDynamics, EnvironmentDrift
+from repro.utils.rng import ensure_rng
+
+#: Names of the three evaluation schemes, in the paper's order.
+SCHEMES: tuple[str, ...] = ("baseline", "subcarrier", "combined")
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Knobs of the evaluation campaign.
+
+    The defaults reproduce the paper's protocol scaled to simulation: 3x3
+    human grids per case, three monitoring bursts per location, 0.5-second
+    monitoring windows at 50 packets per second, background students and
+    slow environmental drift between windows.
+    """
+
+    calibration_packets: int = 150
+    window_packets: int = 25
+    windows_per_location: int = 3
+    grid_rows: int = 3
+    grid_cols: int = 3
+    grid_lateral_extent_m: float = 2.4
+    grid_along_fraction: float = 0.8
+    snr_db: float = 32.0
+    max_bounces: int = 2
+    packet_rate_hz: float = 50.0
+    background_max_people: int = 3
+    background_min_distance_m: float = 5.0
+    gain_drift_std_db: float = 0.3
+    clutter_reflection: float = 0.04
+    human_min_attenuation: float = 0.45
+    human_reflection: float = 0.5
+    use_stability_ratio: bool = True
+    use_music_spectrum: bool = False
+    theta_min_deg: float = -60.0
+    theta_max_deg: float = 60.0
+    schemes: tuple[str, ...] = SCHEMES
+    seed: int = 2015
+
+    def impairments(self) -> ImpairmentModel:
+        """The per-packet impairment model used by every case."""
+        return ImpairmentModel(snr_db=self.snr_db)
+
+    def human_at(self, position) -> HumanBody:
+        """The monitored person standing at *position*."""
+        return HumanBody(
+            position=position,
+            min_attenuation=self.human_min_attenuation,
+            reflection_coefficient=self.human_reflection,
+        )
+
+
+@dataclass(frozen=True)
+class ScoredWindow:
+    """One monitoring window scored by one scheme."""
+
+    scheme: str
+    case: str
+    occupied: bool
+    score: float
+    distance_to_rx_m: float | None = None
+    angle_deg: float | None = None
+    location_index: int | None = None
+    window_packets: int = 0
+
+
+@dataclass
+class EvaluationResult:
+    """All scored windows of a campaign plus the derived metrics."""
+
+    windows: list[ScoredWindow]
+    config: EvaluationConfig
+
+    # ------------------------------------------------------------------ #
+    # score selection
+    # ------------------------------------------------------------------ #
+    def _select(self, scheme: str, occupied: bool) -> list[ScoredWindow]:
+        selected = [
+            w for w in self.windows if w.scheme == scheme and w.occupied == occupied
+        ]
+        if not selected:
+            raise ValueError(
+                f"no {'occupied' if occupied else 'empty'} windows for scheme {scheme!r}"
+            )
+        return selected
+
+    def positive_scores(self, scheme: str) -> list[float]:
+        """Scores of human-present windows for one scheme."""
+        return [w.score for w in self._select(scheme, True)]
+
+    def negative_scores(self, scheme: str) -> list[float]:
+        """Scores of empty windows for one scheme."""
+        return [w.score for w in self._select(scheme, False)]
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    def roc(self, scheme: str) -> RocCurve:
+        """ROC curve of one scheme (Fig. 7)."""
+        return roc_curve(self.positive_scores(scheme), self.negative_scores(scheme))
+
+    def balanced_operating_point(self, scheme: str) -> tuple[float, float, float]:
+        """(threshold, TPR, FPR) at the balanced-accuracy point of a scheme."""
+        return self.roc(scheme).balanced_point()
+
+    def rates_at_balanced_threshold(self, scheme: str) -> tuple[float, float]:
+        """(TPR, FPR) of a scheme at its own balanced threshold."""
+        threshold, _, _ = self.balanced_operating_point(scheme)
+        return detection_rates_at_threshold(
+            self.positive_scores(scheme), self.negative_scores(scheme), threshold
+        )
+
+    def rates_by_case(self, scheme: str, threshold: float | None = None) -> dict[str, float]:
+        """Detection rate per link case at a fixed threshold (Fig. 8)."""
+        threshold = self._threshold(scheme, threshold)
+        windows = self._select(scheme, True)
+        return rates_by_group(
+            [w.score for w in windows], [w.case for w in windows], threshold
+        )
+
+    def rates_by_distance(
+        self,
+        scheme: str,
+        threshold: float | None = None,
+        *,
+        edges: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0),
+    ) -> dict[str, float]:
+        """Detection rate binned by distance to the receiver (Fig. 9)."""
+        threshold = self._threshold(scheme, threshold)
+        windows = [w for w in self._select(scheme, True) if w.distance_to_rx_m is not None]
+        labels = bin_labels([w.distance_to_rx_m for w in windows], edges)
+        return rates_by_group([w.score for w in windows], labels, threshold)
+
+    def rates_by_angle(
+        self,
+        scheme: str,
+        threshold: float | None = None,
+        *,
+        edges: Sequence[float] = (-90.0, -60.0, -30.0, -10.0, 10.0, 30.0, 60.0, 90.0),
+    ) -> dict[str, float]:
+        """Detection rate binned by angle from the receiver broadside (Fig. 11)."""
+        threshold = self._threshold(scheme, threshold)
+        windows = [w for w in self._select(scheme, True) if w.angle_deg is not None]
+        labels = bin_labels([w.angle_deg for w in windows], edges)
+        return rates_by_group([w.score for w in windows], labels, threshold)
+
+    def headline(self) -> dict[str, dict[str, float]]:
+        """Balanced TPR/FPR per scheme — the abstract's 92.0 % / 4.5 % numbers."""
+        summary: dict[str, dict[str, float]] = {}
+        for scheme in self.config.schemes:
+            threshold, tpr, fpr = self.balanced_operating_point(scheme)
+            summary[scheme] = {
+                "threshold": threshold,
+                "true_positive_rate": tpr,
+                "false_positive_rate": fpr,
+                "auc": self.roc(scheme).auc(),
+            }
+        return summary
+
+    def _threshold(self, scheme: str, threshold: float | None) -> float:
+        if threshold is not None:
+            return threshold
+        value, _, _ = self.balanced_operating_point(scheme)
+        return value
+
+
+# --------------------------------------------------------------------------- #
+# detector construction
+# --------------------------------------------------------------------------- #
+def build_detectors(link: Link, config: EvaluationConfig) -> dict[str, object]:
+    """Instantiate the requested detection schemes for one link."""
+    detectors: dict[str, object] = {}
+    if "baseline" in config.schemes:
+        detectors["baseline"] = BaselineDetector()
+    if "subcarrier" in config.schemes:
+        detectors["subcarrier"] = SubcarrierWeightingDetector(
+            use_stability_ratio=config.use_stability_ratio
+        )
+    if "combined" in config.schemes:
+        assert link.array is not None
+        if config.use_music_spectrum:
+            estimator: object = MusicEstimator(array=link.array, num_sources=2)
+        else:
+            estimator = BartlettEstimator(array=link.array)
+        detectors["combined"] = SubcarrierPathWeightingDetector(
+            estimator,
+            theta_min_deg=config.theta_min_deg,
+            theta_max_deg=config.theta_max_deg,
+            use_stability_ratio=config.use_stability_ratio,
+        )
+    unknown = set(config.schemes) - set(SCHEMES)
+    if unknown:
+        raise ValueError(f"unknown schemes requested: {sorted(unknown)}")
+    return detectors
+
+
+# --------------------------------------------------------------------------- #
+# per-case campaign
+# --------------------------------------------------------------------------- #
+def run_case(
+    link: Link,
+    config: EvaluationConfig,
+    *,
+    case_seed: int | None = None,
+) -> list[ScoredWindow]:
+    """Run the full monitoring campaign for one link case.
+
+    Returns one :class:`ScoredWindow` per (scheme, window).  Positive windows
+    cover every grid location ``windows_per_location`` times; the same number
+    of empty windows is collected interleaved with the same background
+    dynamics and drift.
+    """
+    seed = config.seed if case_seed is None else case_seed
+    rng = ensure_rng(seed)
+
+    simulator = ChannelSimulator(
+        link,
+        propagation=PropagationModel(tx_power=link.tx_power),
+        impairments=config.impairments(),
+        max_bounces=config.max_bounces,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    collector = PacketCollector(
+        simulator,
+        packet_rate_hz=config.packet_rate_hz,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    background = BackgroundDynamics(
+        link,
+        max_people=config.background_max_people,
+        min_distance_m=config.background_min_distance_m,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    drift = EnvironmentDrift(
+        link,
+        gain_drift_std_db=config.gain_drift_std_db,
+        clutter_reflection=config.clutter_reflection,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+    # Calibration: empty monitored area (background may be present far away),
+    # no drift applied — it accumulates *after* calibration.
+    calibration = collector.collect(
+        background.people_for_window() + drift.clutter_for_window(),
+        num_packets=config.calibration_packets,
+        label=f"{link.name}/calibration",
+    )
+    detectors = build_detectors(link, config)
+    for detector in detectors.values():
+        detector.calibrate(calibration)
+
+    grid = human_grid(
+        link,
+        rows=config.grid_rows,
+        cols=config.grid_cols,
+        lateral_extent_m=config.grid_lateral_extent_m,
+        along_extent_m=config.grid_along_fraction * link.distance(),
+    )
+
+    windows: list[ScoredWindow] = []
+
+    def score_window(
+        trace: CSITrace,
+        *,
+        occupied: bool,
+        distance: float | None,
+        angle: float | None,
+        location_index: int | None,
+    ) -> None:
+        for scheme, detector in detectors.items():
+            windows.append(
+                ScoredWindow(
+                    scheme=scheme,
+                    case=link.name,
+                    occupied=occupied,
+                    score=float(detector.score(trace)),
+                    distance_to_rx_m=distance,
+                    angle_deg=angle,
+                    location_index=location_index,
+                    window_packets=trace.num_packets,
+                )
+            )
+
+    # Positive windows: every grid location, several bursts each.
+    for location_index, position in enumerate(grid):
+        distance = grid_distance_to_receiver(link, position)
+        angle = grid_angle_to_receiver_deg(link, position)
+        for _ in range(config.windows_per_location):
+            scene = [config.human_at(position)]
+            scene += background.people_for_window()
+            scene += drift.clutter_for_window()
+            trace = collector.collect(
+                scene, num_packets=config.window_packets, label=f"{link.name}/occupied"
+            )
+            trace = drift.apply_to_trace(trace, drift.gain_for_window())
+            score_window(
+                trace,
+                occupied=True,
+                distance=distance,
+                angle=angle,
+                location_index=location_index,
+            )
+
+    # Negative windows: the same number, same ambient conditions, nobody in
+    # the monitored area.
+    num_negative = len(grid) * config.windows_per_location
+    for _ in range(num_negative):
+        scene = background.people_for_window() + drift.clutter_for_window()
+        trace = collector.collect(
+            scene, num_packets=config.window_packets, label=f"{link.name}/empty"
+        )
+        trace = drift.apply_to_trace(trace, drift.gain_for_window())
+        score_window(
+            trace, occupied=False, distance=None, angle=None, location_index=None
+        )
+
+    return windows
+
+
+# --------------------------------------------------------------------------- #
+# full campaign
+# --------------------------------------------------------------------------- #
+def run_evaluation(
+    config: EvaluationConfig | None = None,
+    *,
+    cases: Sequence[tuple[Scenario, Link]] | None = None,
+) -> EvaluationResult:
+    """Run the campaign over all evaluation cases (the 5 office links).
+
+    Parameters
+    ----------
+    config:
+        Campaign configuration; defaults to :class:`EvaluationConfig`.
+    cases:
+        Optional subset of (scenario, link) pairs; defaults to the paper's
+        five cases from :func:`repro.experiments.scenarios.evaluation_cases`.
+    """
+    config = config if config is not None else EvaluationConfig()
+    case_list = list(cases) if cases is not None else evaluation_cases()
+    if not case_list:
+        raise ValueError("run_evaluation requires at least one case")
+    windows: list[ScoredWindow] = []
+    for index, (_, link) in enumerate(case_list):
+        windows.extend(run_case(link, config, case_seed=config.seed + 1000 * index))
+    return EvaluationResult(windows=windows, config=config)

@@ -1,0 +1,36 @@
+"""Unit conversions between linear amplitude/power and decibels.
+
+The paper works almost entirely in dB (Eq. 5, 6, 8 all carry a ``10 lg``
+prefix), while the channel simulator naturally produces linear complex
+amplitudes, so these conversions appear throughout the code base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Floor used to avoid ``log10(0)`` when converting powers that may be
+#: exactly zero (for example an artificially nulled subcarrier).
+_POWER_FLOOR = 1e-30
+
+
+def power_to_db(power: np.ndarray | float) -> np.ndarray | float:
+    """Convert linear power to decibels (``10 log10``)."""
+    power = np.asarray(power, dtype=float)
+    return 10.0 * np.log10(np.maximum(power, _POWER_FLOOR))
+
+
+def db_to_power(db: np.ndarray | float) -> np.ndarray | float:
+    """Convert decibels to linear power."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def amplitude_to_db(amplitude: np.ndarray | float) -> np.ndarray | float:
+    """Convert a linear amplitude to decibels (``20 log10``)."""
+    amplitude = np.abs(np.asarray(amplitude, dtype=float))
+    return 20.0 * np.log10(np.maximum(amplitude, np.sqrt(_POWER_FLOOR)))
+
+
+def db_to_amplitude(db: np.ndarray | float) -> np.ndarray | float:
+    """Convert decibels to a linear amplitude."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)

@@ -1,0 +1,73 @@
+"""Small statistics helpers shared by figures, metrics and tests."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def ecdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical cumulative distribution function.
+
+    Returns the sorted sample values and the corresponding cumulative
+    probabilities in ``(0, 1]``.  Used for every CDF figure in the paper
+    (Fig. 2a, Fig. 10).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("ecdf requires at least one value")
+    xs = np.sort(values)
+    ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, ps
+
+
+def percentile_summary(values: np.ndarray, percentiles=(5, 25, 50, 75, 95)) -> dict[int, float]:
+    """Return a ``{percentile: value}`` summary of a sample."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("percentile_summary requires at least one value")
+    return {int(p): float(np.percentile(values, p)) for p in percentiles}
+
+
+def running_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Centred running mean with edge truncation.
+
+    The output has the same length as the input; near the edges the window is
+    truncated rather than padded, so no artificial values leak in.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    half = window // 2
+    out = np.empty_like(values)
+    for i in range(values.size):
+        lo = max(0, i - half)
+        hi = min(values.size, i + half + 1)
+        out[i] = values[lo:hi].mean()
+    return out
+
+
+def sliding_windows(values: np.ndarray, window: int, step: int = 1) -> Iterator[np.ndarray]:
+    """Yield sliding windows over the first axis of *values*.
+
+    Only full windows are yielded; a trailing partial window is dropped.
+    """
+    values = np.asarray(values)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    for start in range(0, values.shape[0] - window + 1, step):
+        yield values[start : start + window]
+
+
+def median_absolute_deviation(values: np.ndarray) -> float:
+    """Median absolute deviation, a robust spread estimate."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("median_absolute_deviation requires at least one value")
+    med = np.median(values)
+    return float(np.median(np.abs(values - med)))

@@ -1,0 +1,53 @@
+"""Input-validation helpers with consistent error messages.
+
+Raising early with a precise message is preferred over letting NumPy produce a
+shape error several stack frames later; these helpers keep the call sites to a
+single readable line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Ensure a scalar is positive (or non-negative when ``strict=False``)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure a scalar lies in ``[0, 1]``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Ensure every element of *array* is finite."""
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Ensure *array* matches *shape*, where ``None`` entries are wildcards."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim} (shape {array.shape})"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and array.shape[axis] != expected:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected axis {axis} to be {expected}"
+            )
+    return array

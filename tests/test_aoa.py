@@ -1,0 +1,213 @@
+"""Tests for angle-of-arrival estimation (covariance, MUSIC, smoothed MUSIC, Bartlett)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aoa import (
+    BartlettEstimator,
+    MusicEstimator,
+    PseudoSpectrum,
+    SmoothedMusicEstimator,
+    angle_error_deg,
+    angle_error_distribution,
+    spatial_covariance,
+)
+from repro.aoa.covariance import condition_number
+from repro.aoa.errors import median_angle_error_deg, paired_error_gain
+from repro.aoa.smoothed import forward_smoothed_covariance
+from repro.channel.antenna import UniformLinearArray
+from repro.channel.constants import CHANNEL_11_CENTER_HZ
+
+
+def synthetic_snapshots(
+    angles_deg: list[float],
+    *,
+    array: UniformLinearArray,
+    num_snapshots: int = 400,
+    snr_db: float = 25.0,
+    seed: int = 0,
+    coherent: bool = False,
+) -> np.ndarray:
+    """Plane waves from the given angles plus AWGN, shape (antennas, snapshots)."""
+    rng = np.random.default_rng(seed)
+    snapshots = np.zeros((array.num_elements, num_snapshots), dtype=complex)
+    common = rng.normal(size=num_snapshots) + 1j * rng.normal(size=num_snapshots)
+    for k, angle in enumerate(angles_deg):
+        steering = array.steering_vector(np.radians(angle), CHANNEL_11_CENTER_HZ)
+        if coherent:
+            signal = common
+        else:
+            signal = rng.normal(size=num_snapshots) + 1j * rng.normal(size=num_snapshots)
+        snapshots += steering[:, None] * signal[None, :]
+    noise_scale = 10 ** (-snr_db / 20.0)
+    noise = rng.normal(size=snapshots.shape) + 1j * rng.normal(size=snapshots.shape)
+    return snapshots + noise_scale * noise
+
+
+@pytest.fixture()
+def array() -> UniformLinearArray:
+    return UniformLinearArray(num_elements=3)
+
+
+class TestCovariance:
+    def test_covariance_is_hermitian_psd(self, array):
+        snaps = synthetic_snapshots([10.0], array=array)
+        cov = spatial_covariance(snaps)
+        assert cov.shape == (3, 3)
+        assert np.allclose(cov, cov.conj().T)
+        assert np.all(np.linalg.eigvalsh(cov) >= -1e-10)
+
+    def test_covariance_from_trace_shape(self, empty_trace):
+        cov = spatial_covariance(empty_trace.csi)
+        assert cov.shape == (3, 3)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_covariance(np.zeros((2, 3, 4, 5), dtype=complex))
+        with pytest.raises(ValueError):
+            spatial_covariance(np.zeros((3, 0), dtype=complex))
+
+    def test_condition_number_identity(self):
+        assert condition_number(np.eye(3)) == pytest.approx(1.0)
+
+
+class TestPseudoSpectrum:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PseudoSpectrum(np.zeros(3), np.zeros(4))
+
+    def test_normalized_peak_is_one(self):
+        spectrum = PseudoSpectrum(np.linspace(-90, 90, 5), np.array([1.0, 3.0, 2.0, 0.5, 0.1]))
+        assert spectrum.normalized().values.max() == pytest.approx(1.0)
+
+    def test_normalize_rejects_nonpositive(self):
+        spectrum = PseudoSpectrum(np.linspace(-90, 90, 3), np.zeros(3))
+        with pytest.raises(ValueError):
+            spectrum.normalized()
+
+    def test_peaks_ranked_by_height(self):
+        angles = np.linspace(-90, 90, 181)
+        values = np.exp(-0.5 * ((angles - 20) / 4) ** 2) + 0.5 * np.exp(
+            -0.5 * ((angles + 40) / 4) ** 2
+        )
+        peaks = PseudoSpectrum(angles, values).peaks(max_peaks=2)
+        assert peaks[0] == pytest.approx(20.0, abs=1.5)
+        assert peaks[1] == pytest.approx(-40.0, abs=1.5)
+
+    def test_value_at_interpolates(self):
+        spectrum = PseudoSpectrum(np.array([-90.0, 90.0]), np.array([0.0, 1.0]))
+        assert spectrum.value_at(0.0) == pytest.approx(0.5)
+
+    def test_in_db_max_is_zero(self):
+        spectrum = PseudoSpectrum(np.linspace(-90, 90, 5), np.array([1.0, 4.0, 2.0, 1.0, 1.0]))
+        assert spectrum.in_db().max() == pytest.approx(0.0)
+
+
+class TestMusic:
+    def test_single_source_recovered(self, array):
+        snaps = synthetic_snapshots([25.0], array=array)
+        estimator = MusicEstimator(array=array, num_sources=1)
+        assert estimator.estimate_los_angle(snaps) == pytest.approx(25.0, abs=2.0)
+
+    def test_two_sources_recovered(self, array):
+        snaps = synthetic_snapshots([-30.0, 40.0], array=array)
+        estimator = MusicEstimator(array=array, num_sources=2)
+        angles = sorted(estimator.estimate_angles(snaps, max_paths=2))
+        assert angles[0] == pytest.approx(-30.0, abs=4.0)
+        assert angles[1] == pytest.approx(40.0, abs=4.0)
+
+    def test_num_sources_must_be_below_antennas(self, array):
+        with pytest.raises(ValueError):
+            MusicEstimator(array=array, num_sources=3)
+        with pytest.raises(ValueError):
+            MusicEstimator(array=array, num_sources=0)
+
+    def test_covariance_shape_checked(self, array):
+        estimator = MusicEstimator(array=array, num_sources=1)
+        with pytest.raises(ValueError):
+            estimator.pseudospectrum_from_covariance(np.eye(4))
+
+    def test_noise_subspace_dimension(self, array):
+        estimator = MusicEstimator(array=array, num_sources=1)
+        noise = estimator.noise_subspace(np.eye(3))
+        assert noise.shape == (3, 2)
+
+    def test_pseudospectrum_peak_higher_at_source(self, array):
+        snaps = synthetic_snapshots([0.0], array=array)
+        spectrum = MusicEstimator(array=array, num_sources=1).pseudospectrum(snaps)
+        assert spectrum.value_at(0.0) > 10 * spectrum.value_at(60.0)
+
+
+class TestSmoothedMusic:
+    def test_resolves_coherent_single_source(self, array):
+        snaps = synthetic_snapshots([20.0], array=array, coherent=True)
+        smoothed = SmoothedMusicEstimator(array=array)
+        assert smoothed.estimate_angles(snaps, max_paths=1)[0] == pytest.approx(20.0, abs=4.0)
+
+    def test_max_resolvable_paths_reduced(self, array):
+        smoothed = SmoothedMusicEstimator(array=array)
+        assert smoothed.max_resolvable_paths() == 1
+        plain = MusicEstimator(array=array, num_sources=2)
+        assert plain.num_sources > smoothed.max_resolvable_paths()
+
+    def test_forward_smoothing_shape_and_average(self):
+        cov = np.arange(9, dtype=complex).reshape(3, 3)
+        smoothed = forward_smoothed_covariance(cov, 2)
+        assert smoothed.shape == (2, 2)
+        expected = (cov[:2, :2] + cov[1:, 1:]) / 2
+        assert np.allclose(smoothed, expected)
+
+    def test_forward_smoothing_invalid_args(self):
+        with pytest.raises(ValueError):
+            forward_smoothed_covariance(np.eye(3), 4)
+        with pytest.raises(ValueError):
+            forward_smoothed_covariance(np.zeros((2, 3)), 2)
+
+    def test_invalid_configuration_rejected(self, array):
+        with pytest.raises(ValueError):
+            SmoothedMusicEstimator(array=array, subarray_size=5)
+        with pytest.raises(ValueError):
+            SmoothedMusicEstimator(array=array, subarray_size=2, num_sources=2)
+
+
+class TestBartlett:
+    def test_peak_at_source_angle(self, array):
+        snaps = synthetic_snapshots([30.0], array=array)
+        spectrum = BartlettEstimator(array=array).pseudospectrum(snaps)
+        assert spectrum.peaks(max_peaks=1)[0] == pytest.approx(30.0, abs=5.0)
+
+    def test_power_calibration_scales_with_signal_power(self, array):
+        weak = synthetic_snapshots([0.0], array=array, seed=1) * 0.5
+        strong = synthetic_snapshots([0.0], array=array, seed=1)
+        est = BartlettEstimator(array=array)
+        assert est.pseudospectrum(strong).values.max() > 3 * est.pseudospectrum(weak).values.max()
+
+    def test_covariance_shape_checked(self, array):
+        with pytest.raises(ValueError):
+            BartlettEstimator(array=array).pseudospectrum_from_covariance(np.eye(2))
+
+    def test_angle_grid_validation(self, array):
+        with pytest.raises(ValueError):
+            BartlettEstimator(array=array, angle_grid_deg=np.array([0.0]))
+
+
+class TestAngleErrors:
+    def test_angle_error_deg(self):
+        assert angle_error_deg(10.0, -5.0) == 15.0
+
+    def test_distribution_is_cdf(self):
+        errors, cdf = angle_error_distribution([1.0, 5.0, 3.0], 0.0)
+        assert np.all(np.diff(errors) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_distribution_rejects_empty(self):
+        with pytest.raises(ValueError):
+            angle_error_distribution([], 0.0)
+
+    def test_median_error_and_gain(self):
+        single = [10.0, 20.0, 30.0]
+        averaged = [2.0, 4.0, 6.0]
+        assert median_angle_error_deg(single, 0.0) == 20.0
+        assert paired_error_gain(single, averaged) == pytest.approx(16.0)

@@ -1,0 +1,129 @@
+"""Tests for the logarithmic fitting (Fig. 3) and the ROC / threshold machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fitting import LogFit, fit_log_curve, fit_per_subcarrier, monotone_fraction
+from repro.core.thresholds import (
+    RocCurve,
+    balanced_threshold,
+    detection_rates_at_threshold,
+    roc_curve,
+)
+
+
+class TestLogFit:
+    def test_recovers_synthetic_coefficients(self, rng):
+        mu = rng.uniform(0.05, 5.0, size=400)
+        delta = -6.0 * np.log10(mu) + 2.0 + rng.normal(0, 0.05, size=400)
+        fit = fit_log_curve(mu, delta)
+        assert fit.slope == pytest.approx(-6.0, abs=0.2)
+        assert fit.intercept == pytest.approx(2.0, abs=0.2)
+        assert fit.is_monotone_decreasing()
+        assert fit.spearman < -0.9
+        assert abs(fit.r_value) > 0.95
+
+    def test_predict_matches_model(self):
+        fit = LogFit(slope=-3.0, intercept=1.0, r_value=1.0, spearman=-1.0, num_samples=10)
+        assert fit.predict(1.0) == pytest.approx(1.0)
+        assert fit.predict(10.0) == pytest.approx(-2.0)
+
+    def test_increasing_relationship_detected(self, rng):
+        mu = rng.uniform(0.1, 2.0, size=100)
+        delta = 4.0 * np.log10(mu)
+        fit = fit_log_curve(mu, delta)
+        assert not fit.is_monotone_decreasing()
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_log_curve(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_log_curve(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_log_curve(np.array([1.0, -2.0, 3.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_per_subcarrier_skips_flat_columns(self, rng):
+        mu = rng.uniform(0.1, 2.0, size=(100, 3))
+        delta = np.column_stack(
+            [
+                -5.0 * np.log10(mu[:, 0]),
+                np.full(100, 0.01),  # essentially constant -> skipped
+                -2.0 * np.log10(mu[:, 2]),
+            ]
+        )
+        fits = fit_per_subcarrier(mu, delta, min_range_db=0.5)
+        assert set(fits) == {0, 2}
+        assert monotone_fraction(fits) == 1.0
+
+    def test_monotone_fraction_requires_fits(self):
+        with pytest.raises(ValueError):
+            monotone_fraction({})
+
+    def test_per_subcarrier_shape_validation(self):
+        with pytest.raises(ValueError):
+            fit_per_subcarrier(np.ones((10, 3)), np.ones((10, 4)))
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        curve = roc_curve([10.0, 11.0, 12.0], [1.0, 2.0, 3.0])
+        assert curve.auc() == pytest.approx(1.0, abs=1e-6)
+        threshold, tpr, fpr = curve.balanced_point()
+        assert tpr == 1.0 and fpr == 0.0
+        assert 3.0 < threshold < 10.0
+
+    def test_chance_level_auc(self, rng):
+        scores = rng.normal(size=600)
+        curve = roc_curve(scores[:300], scores[300:])
+        assert curve.auc() == pytest.approx(0.5, abs=0.08)
+
+    def test_partial_overlap(self, rng):
+        positives = rng.normal(2.0, 1.0, size=500)
+        negatives = rng.normal(0.0, 1.0, size=500)
+        curve = roc_curve(positives, negatives)
+        assert 0.85 < curve.auc() < 0.98
+        _, tpr, fpr = curve.balanced_point()
+        assert tpr > 0.7 and fpr < 0.3
+
+    def test_operating_point_respects_fpr_cap(self, rng):
+        positives = rng.normal(2.0, 1.0, size=500)
+        negatives = rng.normal(0.0, 1.0, size=500)
+        curve = roc_curve(positives, negatives)
+        _, tpr, fpr = curve.operating_point(max_false_positive=0.05)
+        assert fpr <= 0.05
+        with pytest.raises(ValueError):
+            curve.operating_point(max_false_positive=1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve([], [1.0])
+        with pytest.raises(ValueError):
+            roc_curve([1.0], [])
+        with pytest.raises(ValueError):
+            roc_curve([1.0], [0.5], num_thresholds=1)
+        with pytest.raises(ValueError):
+            RocCurve(np.zeros(3), np.zeros(3), np.zeros(4))
+
+    def test_balanced_threshold_helper(self):
+        threshold = balanced_threshold([5.0, 6.0], [1.0, 2.0])
+        assert 2.0 < threshold < 5.0
+
+    def test_detection_rates_at_threshold(self):
+        tpr, fpr = detection_rates_at_threshold([1.0, 3.0, 5.0], [0.5, 2.0], threshold=2.5)
+        assert tpr == pytest.approx(2.0 / 3.0)
+        assert fpr == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            detection_rates_at_threshold([], [1.0], 0.5)
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=30),
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=30),
+    )
+    def test_rates_are_probabilities(self, positives, negatives):
+        curve = roc_curve(positives, negatives)
+        assert np.all((curve.true_positive_rates >= 0) & (curve.true_positive_rates <= 1))
+        assert np.all((curve.false_positive_rates >= 0) & (curve.false_positive_rates <= 1))
+        assert 0.0 <= curve.auc() <= 1.0

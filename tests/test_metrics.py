@@ -1,0 +1,79 @@
+"""Tests for the evaluation metrics (detection rates, grouping, range gain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import (
+    balanced_accuracy,
+    bin_labels,
+    detection_rate,
+    false_positive_rate,
+    range_gain,
+    rates_by_group,
+)
+
+
+class TestRates:
+    def test_detection_rate(self):
+        assert detection_rate([1.0, 2.0, 3.0], threshold=1.5) == pytest.approx(2 / 3)
+        assert detection_rate([1.0], threshold=5.0) == 0.0
+        with pytest.raises(ValueError):
+            detection_rate([], threshold=1.0)
+
+    def test_false_positive_rate_is_detection_rate_on_negatives(self):
+        assert false_positive_rate([0.1, 0.9], threshold=0.5) == 0.5
+
+    def test_balanced_accuracy(self):
+        value = balanced_accuracy([2.0, 3.0], [0.0, 1.0], threshold=1.5)
+        assert value == pytest.approx(1.0)
+        value = balanced_accuracy([2.0, 0.0], [0.0, 2.5], threshold=1.5)
+        assert value == pytest.approx(0.5)
+
+
+class TestGrouping:
+    def test_rates_by_group(self):
+        scores = [1.0, 0.2, 0.9, 0.8]
+        groups = ["a", "a", "b", "b"]
+        rates = rates_by_group(scores, groups, threshold=0.5)
+        assert rates == {"a": 0.5, "b": 1.0}
+
+    def test_rates_by_group_validation(self):
+        with pytest.raises(ValueError):
+            rates_by_group([1.0], ["a", "b"], 0.5)
+        with pytest.raises(ValueError):
+            rates_by_group([], [], 0.5)
+
+    def test_bin_labels(self):
+        labels = bin_labels([0.5, 1.5, 3.9, 10.0], edges=[0, 1, 2, 4])
+        assert labels == ["0-1", "1-2", "2-4", "2-4"]
+        with pytest.raises(ValueError):
+            bin_labels([1.0], edges=[0])
+
+
+class TestRangeGain:
+    def test_doubling_the_range_gives_unit_gain(self):
+        baseline = {"0-1": 1.0, "1-2": 0.95, "2-3": 0.92, "3-4": 0.6, "4-6": 0.5}
+        scheme = {"0-1": 1.0, "1-2": 1.0, "2-3": 0.95, "3-4": 0.95, "4-6": 0.93}
+        assert range_gain(baseline, scheme) == pytest.approx(1.0)
+
+    def test_no_gain_when_equal(self):
+        rates = {"0-1": 1.0, "1-2": 0.95, "2-3": 0.5}
+        assert range_gain(rates, rates) == pytest.approx(0.0)
+
+    def test_infinite_gain_when_baseline_never_reaches(self):
+        baseline = {"0-1": 0.5}
+        scheme = {"0-1": 0.95}
+        assert range_gain(baseline, scheme) == float("inf")
+
+    def test_explicit_bin_centres(self):
+        baseline = {"near": 0.95, "far": 0.5}
+        scheme = {"near": 0.95, "far": 0.95}
+        gain = range_gain(
+            baseline, scheme, bin_centres={"near": 2.0, "far": 5.0}
+        )
+        assert gain == pytest.approx(1.5)
+
+    def test_unparseable_label_rejected(self):
+        with pytest.raises(ValueError):
+            range_gain({"near": 1.0}, {"near": 1.0})

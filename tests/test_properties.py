@@ -1,0 +1,150 @@
+"""Property-based tests on cross-module invariants.
+
+These complement the per-module unit tests by checking relationships that
+must hold for *any* admissible input: scale invariances, consistency between
+the analytic link model and the simulator, and conservation-style checks on
+the weighting schemes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.channel.constants import CHANNEL_11_CENTER_HZ, subcarrier_frequencies
+from repro.channel.geometry import Point
+from repro.channel.ofdm import synthesize_cfr
+from repro.channel.propagation import PropagationModel
+from repro.channel.rays import Path
+from repro.core.link_model import OneBounceLinkModel
+from repro.core.multipath_factor import multipath_factor, stability_ratio
+from repro.core.subcarrier_weighting import SubcarrierWeighting
+from repro.core.thresholds import roc_curve
+from repro.utils.stats import ecdf
+
+slow_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestScaleInvariances:
+    @slow_settings
+    @given(st.floats(min_value=0.05, max_value=50.0))
+    def test_multipath_factor_invariant_to_global_gain(self, gain):
+        los = Path(vertices=(Point(0.0, 0.0), Point(4.0, 0.0)), kind="los")
+        wall = Path(
+            vertices=(Point(0.0, 0.0), Point(2.0, 4.0), Point(4.0, 0.0)),
+            kind="wall",
+            amplitude_gain=0.8,
+        )
+        cfr = synthesize_cfr([los, wall])
+        assert np.allclose(
+            multipath_factor(cfr), multipath_factor(gain * cfr), rtol=1e-9
+        )
+
+    @slow_settings
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_subcarrier_weights_invariant_to_global_gain(self, gain):
+        rng = np.random.default_rng(11)
+        csi = rng.normal(size=(8, 2, 30)) + 1j * rng.normal(size=(8, 2, 30))
+        from repro.csi import CSITrace
+
+        weighting = SubcarrierWeighting()
+        base = weighting.weights_from_trace(CSITrace(csi=csi)).weights
+        scaled = weighting.weights_from_trace(CSITrace(csi=gain * csi)).weights
+        assert np.allclose(base, scaled, rtol=1e-9)
+
+    @slow_settings
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_roc_invariant_to_monotone_scaling(self, shift, scale):
+        rng = np.random.default_rng(5)
+        positives = rng.normal(2.0, 1.0, size=80)
+        negatives = rng.normal(0.0, 1.0, size=80)
+        base = roc_curve(positives, negatives).auc()
+        transformed = roc_curve(positives * scale + shift, negatives * scale + shift).auc()
+        assert transformed == pytest.approx(base, abs=0.02)
+
+
+class TestLinkModelConsistency:
+    @slow_settings
+    @given(
+        st.floats(min_value=1.1, max_value=10.0),
+        st.floats(min_value=0.3, max_value=8.0),
+    )
+    def test_analytic_factor_matches_synthesized_two_path_channel(self, gamma, excess):
+        """The analytic Eq. 3 and the simulator agree on a two-path channel.
+
+        A channel made of a LOS path and one reflection with amplitude ratio
+        gamma and excess length `excess` must have, on every subcarrier, the
+        multipath factor predicted by the one-bounce model at that
+        subcarrier's frequency (up to the dominant-tap approximation, hence
+        the loose tolerance on the ratio of the two).
+        """
+        distance = 4.0
+        model = PropagationModel()
+        freqs = subcarrier_frequencies()
+        los_amp = model.amplitude(distance, freqs)
+        reflected_amp = los_amp / gamma
+        phases_los = model.phase(distance, freqs)
+        phases_ref = model.phase(distance + excess, freqs)
+        cfr = (los_amp * np.exp(-1j * phases_los) + reflected_amp * np.exp(-1j * phases_ref))[
+            None, :
+        ]
+        measured = multipath_factor(cfr)[0]
+        predicted = np.array(
+            [
+                OneBounceLinkModel.from_excess_distance(gamma, excess, f).multipath_factor()
+                for f in freqs
+            ]
+        )
+        # Both rank the subcarriers the same way even if absolute scales differ.
+        correlation = np.corrcoef(measured, predicted)[0, 1]
+        assert correlation > 0.8
+
+    @slow_settings
+    @given(
+        st.floats(min_value=1.05, max_value=10.0),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_shadowing_of_stronger_los_never_amplifies_more_than_cancellation_bound(
+        self, gamma, phi, beta
+    ):
+        """|h_S| can never exceed |h_N| by more than the removed-cancellation bound."""
+        model = OneBounceLinkModel(gamma=gamma, phi=phi)
+        change = model.shadowing_rss_change_exact(beta)
+        # Upper bound: the shadowed channel is at most (beta*gamma+1/gamma...)
+        upper = 20.0 * math.log10((beta * gamma + 1.0) / max(gamma - 1.0, 1e-9))
+        assert change <= max(upper, 0.0) + 1e-6
+
+
+class TestStatisticalInvariants:
+    @slow_settings
+    @given(st.integers(min_value=2, max_value=40))
+    def test_stability_ratio_bounds_for_random_factors(self, packets):
+        rng = np.random.default_rng(packets)
+        factors = rng.lognormal(size=(packets, 1, 30))
+        ratios = stability_ratio(factors)
+        assert np.all(ratios >= 0.0) and np.all(ratios <= 1.0)
+
+    @slow_settings
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=200))
+    def test_ecdf_last_value_is_one(self, values):
+        _, ps = ecdf(np.asarray(values))
+        assert ps[-1] == pytest.approx(1.0)
+
+    @slow_settings
+    @given(st.integers(min_value=1, max_value=6))
+    def test_weights_sum_to_one_for_any_window_length(self, packets):
+        rng = np.random.default_rng(packets)
+        csi = rng.normal(size=(packets, 3, 30)) + 1j * rng.normal(size=(packets, 3, 30))
+        from repro.csi import CSITrace
+
+        weights = SubcarrierWeighting().weights_from_trace(CSITrace(csi=csi))
+        assert np.allclose(weights.weights.sum(axis=1), 1.0)

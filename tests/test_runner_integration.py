@@ -1,0 +1,138 @@
+"""Integration tests for the evaluation runner (scaled-down campaigns)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    SCHEMES,
+    EvaluationConfig,
+    EvaluationResult,
+    ScoredWindow,
+    build_detectors,
+    run_case,
+    run_evaluation,
+)
+from repro.experiments.scenarios import evaluation_cases
+
+
+@pytest.fixture(scope="module")
+def small_config() -> EvaluationConfig:
+    """A heavily scaled-down campaign so integration tests stay fast."""
+    return EvaluationConfig(
+        calibration_packets=60,
+        window_packets=12,
+        windows_per_location=1,
+        grid_rows=2,
+        grid_cols=2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_case_windows(small_config) -> list[ScoredWindow]:
+    _, link = evaluation_cases()[0]
+    return run_case(link, small_config, case_seed=11)
+
+
+@pytest.fixture(scope="module")
+def two_case_result(small_config) -> EvaluationResult:
+    cases = evaluation_cases()[:2]
+    return run_evaluation(small_config, cases=cases)
+
+
+class TestBuildDetectors:
+    def test_all_schemes_built(self, small_config):
+        _, link = evaluation_cases()[0]
+        detectors = build_detectors(link, small_config)
+        assert set(detectors) == set(SCHEMES)
+
+    def test_subset_of_schemes(self):
+        _, link = evaluation_cases()[0]
+        config = EvaluationConfig(schemes=("baseline",))
+        assert set(build_detectors(link, config)) == {"baseline"}
+
+    def test_unknown_scheme_rejected(self):
+        _, link = evaluation_cases()[0]
+        config = EvaluationConfig(schemes=("baseline", "nonsense"))
+        with pytest.raises(ValueError):
+            build_detectors(link, config)
+
+    def test_music_spectrum_option(self, small_config):
+        _, link = evaluation_cases()[0]
+        config = dataclasses.replace(small_config, use_music_spectrum=True)
+        detectors = build_detectors(link, config)
+        from repro.aoa.music import MusicEstimator
+
+        assert isinstance(detectors["combined"].spectrum_estimator, MusicEstimator)
+
+
+class TestRunCase:
+    def test_window_counts_balanced(self, single_case_windows, small_config):
+        grid_size = small_config.grid_rows * small_config.grid_cols
+        expected_per_scheme = 2 * grid_size * small_config.windows_per_location
+        for scheme in SCHEMES:
+            windows = [w for w in single_case_windows if w.scheme == scheme]
+            assert len(windows) == expected_per_scheme
+            assert sum(w.occupied for w in windows) == expected_per_scheme // 2
+
+    def test_positive_windows_carry_geometry(self, single_case_windows):
+        for window in single_case_windows:
+            if window.occupied:
+                assert window.distance_to_rx_m is not None and window.distance_to_rx_m > 0
+                assert window.angle_deg is not None
+                assert window.location_index is not None
+            else:
+                assert window.distance_to_rx_m is None
+
+    def test_scores_finite_and_nonnegative(self, single_case_windows):
+        for window in single_case_windows:
+            assert np.isfinite(window.score) and window.score >= 0.0
+
+    def test_deterministic_given_seed(self, small_config):
+        _, link = evaluation_cases()[0]
+        a = run_case(link, small_config, case_seed=5)
+        b = run_case(link, small_config, case_seed=5)
+        assert [w.score for w in a] == pytest.approx([w.score for w in b])
+
+    def test_occupied_windows_score_higher_on_average(self, single_case_windows):
+        for scheme in SCHEMES:
+            pos = [w.score for w in single_case_windows if w.scheme == scheme and w.occupied]
+            neg = [w.score for w in single_case_windows if w.scheme == scheme and not w.occupied]
+            assert np.median(pos) > np.median(neg)
+
+
+class TestEvaluationResult:
+    def test_headline_contains_all_schemes(self, two_case_result):
+        headline = two_case_result.headline()
+        assert set(headline) == set(SCHEMES)
+        for stats in headline.values():
+            assert 0.0 <= stats["true_positive_rate"] <= 1.0
+            assert 0.0 <= stats["false_positive_rate"] <= 1.0
+            assert 0.0 <= stats["auc"] <= 1.0
+
+    def test_balanced_point_beats_chance(self, two_case_result):
+        for scheme in SCHEMES:
+            _, tpr, fpr = two_case_result.balanced_operating_point(scheme)
+            assert tpr > fpr
+
+    def test_rates_by_case_covers_both_cases(self, two_case_result):
+        rates = two_case_result.rates_by_case("baseline")
+        assert set(rates) == {"case-1", "case-2"}
+
+    def test_rates_by_distance_and_angle(self, two_case_result):
+        by_distance = two_case_result.rates_by_distance("combined")
+        by_angle = two_case_result.rates_by_angle("combined")
+        assert all(0.0 <= v <= 1.0 for v in by_distance.values())
+        assert all(0.0 <= v <= 1.0 for v in by_angle.values())
+
+    def test_unknown_scheme_raises(self, two_case_result):
+        with pytest.raises(ValueError):
+            two_case_result.positive_scores("nonsense")
+
+    def test_run_evaluation_requires_cases(self, small_config):
+        with pytest.raises(ValueError):
+            run_evaluation(small_config, cases=[])

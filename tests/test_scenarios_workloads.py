@@ -1,0 +1,200 @@
+"""Tests for the evaluation scenarios and workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Point, Segment
+from repro.experiments.scenarios import (
+    Scenario,
+    classroom_scenario,
+    corner_link_scenario,
+    evaluation_cases,
+    grid_angle_to_receiver_deg,
+    grid_distance_to_receiver,
+    human_grid,
+    office_scenarios,
+)
+from repro.experiments.workloads import (
+    BackgroundDynamics,
+    EnvironmentDrift,
+    static_location_set,
+    walking_trajectory,
+)
+
+
+class TestScenarios:
+    def test_classroom_dimensions_and_link_length(self):
+        scenario = classroom_scenario()
+        assert scenario.room.width == 8.0 and scenario.room.height == 6.0
+        assert scenario.link().distance() == pytest.approx(4.0)
+
+    def test_classroom_custom_link_length(self):
+        scenario = classroom_scenario(link_length_m=3.0)
+        assert scenario.link().distance() == pytest.approx(3.0)
+
+    def test_corner_link_near_concrete_wall(self):
+        scenario = corner_link_scenario()
+        link = scenario.link()
+        assert link.distance() == pytest.approx(3.0)
+        assert scenario.room.walls[0].material == "concrete"
+        # The link sits one metre from that wall.
+        assert link.tx.y == pytest.approx(1.0)
+
+    def test_office_scenarios_host_five_cases(self):
+        a, b = office_scenarios()
+        assert len(a.links) == 3 and len(b.links) == 2
+        names = [link.name for link in a.links + b.links]
+        assert names == [f"case-{i}" for i in range(1, 6)]
+
+    def test_evaluation_cases_order_and_rooms(self):
+        cases = evaluation_cases()
+        assert len(cases) == 5
+        assert cases[0][0].name == "office-a" and cases[-1][0].name == "office-b"
+        for scenario, link in cases:
+            assert link.room is scenario.room
+
+    def test_case_links_have_diverse_lengths_and_powers(self):
+        cases = evaluation_cases()
+        lengths = {round(link.distance(), 1) for _, link in cases}
+        powers = {link.tx_power for _, link in cases}
+        assert len(lengths) >= 3
+        assert len(powers) == 5
+
+    def test_links_fit_inside_rooms(self):
+        for scenario, link in evaluation_cases():
+            assert scenario.room.contains(link.tx)
+            assert scenario.room.contains(link.rx)
+
+
+class TestHumanGrid:
+    def test_grid_size(self):
+        link = evaluation_cases()[0][1]
+        grid = human_grid(link, rows=3, cols=3)
+        assert len(grid) == 9
+
+    def test_grid_inside_room(self):
+        for _, link in evaluation_cases():
+            for point in human_grid(link, lateral_extent_m=2.5):
+                assert link.room.contains(point, margin=0.2)
+
+    def test_grid_offsets_one_sided_and_off_los(self):
+        link = evaluation_cases()[0][1]
+        los = Segment(link.tx, link.rx)
+        grid = human_grid(link, lateral_extent_m=2.4)
+        offsets = [los.distance_to_point(p) for p in grid]
+        assert min(offsets) > 0.3
+        assert max(offsets) == pytest.approx(2.4, abs=0.3)
+
+    def test_grid_covers_range_of_distances_and_angles(self):
+        link = evaluation_cases()[0][1]
+        grid = human_grid(link, lateral_extent_m=2.4)
+        distances = [grid_distance_to_receiver(link, p) for p in grid]
+        angles = [grid_angle_to_receiver_deg(link, p) for p in grid]
+        assert max(distances) - min(distances) > 2.0
+        assert max(np.abs(angles)) > 30.0
+
+    def test_invalid_grid_rejected(self):
+        link = evaluation_cases()[0][1]
+        with pytest.raises(ValueError):
+            human_grid(link, rows=0)
+
+
+class TestStaticLocations:
+    def test_count_and_containment(self, link):
+        locations = static_location_set(link, count=50, seed=1)
+        assert len(locations) == 50
+        for point in locations:
+            assert link.room.contains(point, margin=0.1)
+
+    def test_half_of_locations_near_los(self, link):
+        locations = static_location_set(link, count=200, seed=2)
+        los = Segment(link.tx, link.rx)
+        near = sum(1 for p in locations if los.distance_to_point(p) <= 0.35)
+        assert 0.3 < near / len(locations) < 0.75
+
+    def test_deterministic_given_seed(self, link):
+        a = static_location_set(link, count=10, seed=3)
+        b = static_location_set(link, count=10, seed=3)
+        assert all(p.distance_to(q) == 0.0 for p, q in zip(a, b))
+
+    def test_invalid_count(self, link):
+        with pytest.raises(ValueError):
+            static_location_set(link, count=0)
+
+
+class TestWalkingTrajectory:
+    def test_length_and_containment(self, link):
+        positions = walking_trajectory(link, num_packets=100, seed=1)
+        assert len(positions) == 100
+        for point in positions:
+            assert link.room.contains(point)
+
+    def test_crosses_the_los(self, link):
+        positions = walking_trajectory(link, num_packets=100, seed=2)
+        los = Segment(link.tx, link.rx)
+        distances = [los.distance_to_point(p) for p in positions]
+        assert min(distances) < 0.2
+        assert max(distances) > 1.5
+
+    def test_invalid_num_packets(self, link):
+        with pytest.raises(ValueError):
+            walking_trajectory(link, num_packets=1)
+
+
+class TestBackgroundDynamics:
+    def test_people_stay_away_from_link(self, link):
+        background = BackgroundDynamics(link, max_people=3, seed=1)
+        los = Segment(link.tx, link.rx)
+        for _ in range(20):
+            for person in background.people_for_window():
+                assert los.distance_to_point(person.position) >= 2.4
+
+    def test_people_move_slowly_between_windows(self, link):
+        background = BackgroundDynamics(link, max_people=2, seed=2, walk_probability=0.0)
+        first = background.people_for_window()
+        second = background.people_for_window()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.position.distance_to(b.position) < 1.0
+
+    def test_zero_people_configuration(self, link):
+        background = BackgroundDynamics(link, max_people=0, seed=3)
+        assert background.people_for_window() == []
+
+    def test_invalid_max_people(self, link):
+        with pytest.raises(ValueError):
+            BackgroundDynamics(link, max_people=-1)
+
+
+class TestEnvironmentDrift:
+    def test_gain_centred_on_unity(self, link):
+        drift = EnvironmentDrift(link, gain_drift_std_db=0.5, seed=1)
+        gains = [drift.gain_for_window() for _ in range(300)]
+        assert np.median(gains) == pytest.approx(1.0, abs=0.05)
+        assert np.std(gains) > 0.01
+
+    def test_zero_drift_is_identity_gain_distribution(self, link):
+        drift = EnvironmentDrift(link, gain_drift_std_db=0.0, seed=2)
+        assert drift.gain_for_window() == pytest.approx(1.0)
+
+    def test_clutter_disabled_when_reflection_zero(self, link):
+        drift = EnvironmentDrift(link, clutter_reflection=0.0, seed=3)
+        assert drift.clutter_for_window() == []
+
+    def test_clutter_stays_in_room_and_far_from_link(self, link):
+        drift = EnvironmentDrift(link, seed=4)
+        for _ in range(20):
+            for clutter in drift.clutter_for_window():
+                assert link.room.contains(clutter.position)
+
+    def test_apply_to_trace_scales_csi(self, empty_trace, link):
+        drift = EnvironmentDrift(link, seed=5)
+        scaled = drift.apply_to_trace(empty_trace, 2.0)
+        assert np.allclose(scaled.csi, empty_trace.csi * 2.0)
+        assert scaled.num_packets == empty_trace.num_packets
+
+    def test_negative_drift_rejected(self, link):
+        with pytest.raises(ValueError):
+            EnvironmentDrift(link, gain_drift_std_db=-1.0)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.utils (rng, conversions, statistics, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    amplitude_to_db,
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    db_to_amplitude,
+    db_to_power,
+    derive_rng,
+    ecdf,
+    ensure_rng,
+    percentile_summary,
+    power_to_db,
+    running_mean,
+    sliding_windows,
+)
+from repro.utils.rng import spawn_children
+from repro.utils.stats import median_absolute_deviation
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_derive_rng_children_differ(self):
+        parent = ensure_rng(5)
+        child_a = derive_rng(parent, "packet", 1)
+        child_b = derive_rng(parent, "packet", 2)
+        assert child_a.integers(0, 10**6) != child_b.integers(0, 10**6)
+
+    def test_spawn_children_count_and_independence(self):
+        children = spawn_children(3, 4)
+        assert len(children) == 4
+        draws = {int(c.integers(0, 10**9)) for c in children}
+        assert len(draws) == 4
+
+    def test_spawn_children_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(1, -1)
+
+
+class TestConversions:
+    def test_power_db_roundtrip(self):
+        powers = np.array([1e-6, 1.0, 250.0])
+        assert np.allclose(db_to_power(power_to_db(powers)), powers)
+
+    def test_amplitude_db_roundtrip(self):
+        amps = np.array([0.001, 1.0, 30.0])
+        assert np.allclose(db_to_amplitude(amplitude_to_db(amps)), amps)
+
+    def test_power_to_db_of_unit_power_is_zero(self):
+        assert power_to_db(1.0) == pytest.approx(0.0)
+
+    def test_amplitude_to_db_is_twice_power_to_db(self):
+        value = 7.3
+        assert amplitude_to_db(value) == pytest.approx(2 * power_to_db(value))
+
+    def test_zero_power_is_floored_not_infinite(self):
+        assert np.isfinite(power_to_db(0.0))
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrip_property(self, power):
+        assert db_to_power(power_to_db(power)) == pytest.approx(power, rel=1e-9)
+
+
+class TestStats:
+    def test_ecdf_monotone_and_bounded(self):
+        xs, ps = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) >= 0)
+        assert ps[0] > 0 and ps[-1] == pytest.approx(1.0)
+
+    def test_ecdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    def test_percentile_summary_keys(self):
+        summary = percentile_summary(np.arange(100.0))
+        assert set(summary) == {5, 25, 50, 75, 95}
+        assert summary[50] == pytest.approx(49.5)
+
+    def test_running_mean_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(running_mean(values, 1), values)
+
+    def test_running_mean_smooths(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        smoothed = running_mean(values, 3)
+        assert smoothed.shape == values.shape
+        assert np.all(smoothed <= 10.0) and np.all(smoothed >= 0.0)
+        assert smoothed[2] == pytest.approx(20.0 / 3.0)
+
+    def test_running_mean_invalid_window(self):
+        with pytest.raises(ValueError):
+            running_mean(np.array([1.0]), 0)
+
+    def test_sliding_windows_full_only(self):
+        windows = list(sliding_windows(np.arange(5), window=2, step=2))
+        assert [w.tolist() for w in windows] == [[0, 1], [2, 3]]
+
+    def test_sliding_windows_bad_args(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows(np.arange(5), window=0))
+        with pytest.raises(ValueError):
+            list(sliding_windows(np.arange(5), window=2, step=0))
+
+    def test_median_absolute_deviation(self):
+        assert median_absolute_deviation(np.array([1.0, 1.0, 1.0])) == 0.0
+        assert median_absolute_deviation(np.array([1.0, 2.0, 9.0])) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts_and_rejects(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                check_probability("p", bad)
+
+    def test_check_finite(self):
+        array = np.array([1.0, 2.0])
+        assert check_finite("a", array) is not None
+        with pytest.raises(ValueError):
+            check_finite("a", np.array([1.0, np.nan]))
+
+    def test_check_shape_wildcards(self):
+        array = np.zeros((3, 30))
+        check_shape("a", array, (None, 30))
+        with pytest.raises(ValueError):
+            check_shape("a", array, (None, 29))
+        with pytest.raises(ValueError):
+            check_shape("a", array, (3, 30, 1))
