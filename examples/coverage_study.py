@@ -16,15 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.aoa import BartlettEstimator
+from repro.api import PipelineConfig
 from repro.channel import ChannelSimulator, HumanBody, ImpairmentModel, Link, Point, Room
-from repro.core import (
-    BaselineDetector,
-    SubcarrierPathWeightingDetector,
-    SubcarrierWeightingDetector,
-    balanced_threshold,
-)
-from repro.csi import PacketCollector
+from repro.core import balanced_threshold
 from repro.experiments.metrics import detection_rate, range_gain
 from repro.experiments.workloads import BackgroundDynamics, EnvironmentDrift
 
@@ -35,18 +29,21 @@ def main() -> None:
     simulator = ChannelSimulator(
         link, impairments=ImpairmentModel(snr_db=28.0), max_bounces=2, seed=11
     )
-    collector = PacketCollector(simulator, seed=12)
+    # The pipeline (detector, window policy, collector settings) is described
+    # declaratively; the same config dict could come straight from a JSON file.
+    base = PipelineConfig.from_dict(
+        {"detector": "combined", "window_packets": 25, "calibration_packets": 150, "seed": 12}
+    )
+    collector = base.collector(simulator)
     # Realistic nuisances between monitoring windows: colleagues working at
     # least 5 m away and slow gain drift between sessions.
     background = BackgroundDynamics(link, max_people=3, seed=14)
     drift = EnvironmentDrift(link, gain_drift_std_db=0.4, seed=15)
 
-    calibration = collector.collect_empty(num_packets=150)
-    assert link.array is not None
+    calibration = collector.collect_empty(num_packets=base.calibration_packets)
     detectors = {
-        "baseline": BaselineDetector(),
-        "subcarrier": SubcarrierWeightingDetector(),
-        "combined": SubcarrierPathWeightingDetector(BartlettEstimator(array=link.array)),
+        name: base.replace(detector=name).build_detector(link)
+        for name in ("baseline", "subcarrier", "combined")
     }
     for detector in detectors.values():
         detector.calibrate(calibration)
@@ -65,7 +62,7 @@ def main() -> None:
     for _ in range(windows_per_distance * 2):
         scene = background.people_for_window() + drift.clutter_for_window()
         window = drift.apply_to_trace(
-            collector.collect(scene, num_packets=25), drift.gain_for_window()
+            collector.collect(scene, num_packets=base.window_packets), drift.gain_for_window()
         )
         for name, detector in detectors.items():
             negatives[name].append(detector.score(window))
@@ -83,7 +80,7 @@ def main() -> None:
             scene = [HumanBody(position=position)]
             scene += background.people_for_window() + drift.clutter_for_window()
             window = drift.apply_to_trace(
-                collector.collect(scene, num_packets=25), drift.gain_for_window()
+                collector.collect(scene, num_packets=base.window_packets), drift.gain_for_window()
             )
             for name, detector in detectors.items():
                 scores[name][f"{distance:.0f}m"].append(detector.score(window))

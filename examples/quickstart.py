@@ -1,12 +1,17 @@
 """Quickstart: detect a person on a single simulated WiFi link.
 
-This example walks through the library's core loop end to end:
+This example walks through the library's core loop end to end, the
+``repro.api`` way:
 
 1. build a room and deploy a TX-RX link (the simulator stands in for the
    paper's Tenda AP + Intel 5300 receiver);
-2. collect a calibration trace of the empty room;
-3. calibrate the three detection schemes the paper compares;
-4. collect monitoring windows with and without a person and score them.
+2. describe the detection pipeline declaratively with a
+   :class:`repro.api.PipelineConfig` — one per scheme the paper compares;
+3. calibrate a :class:`repro.api.StreamingSession` per scheme on the empty
+   room (the session also derives its decision threshold from the
+   calibration windows);
+4. stream monitoring packets through the sessions and read the emitted
+   :class:`repro.api.DetectionEvent` objects.
 
 Run with::
 
@@ -15,15 +20,16 @@ Run with::
 
 from __future__ import annotations
 
-from repro.aoa import BartlettEstimator
+from repro.api import PipelineConfig, available_detectors
 from repro.channel import ChannelSimulator, HumanBody, Link, Point, Room
-from repro.core import (
-    BaselineDetector,
-    SubcarrierPathWeightingDetector,
-    SubcarrierWeightingDetector,
-    balanced_threshold,
-)
 from repro.csi import PacketCollector
+
+#: Human-readable labels for the paper's three schemes.
+SCHEME_LABELS = {
+    "baseline": "baseline (CSI amplitude)",
+    "subcarrier": "subcarrier weighting",
+    "combined": "subcarrier + path weighting",
+}
 
 
 def main() -> None:
@@ -33,62 +39,50 @@ def main() -> None:
     simulator = ChannelSimulator(link, max_bounces=2, seed=1)
     collector = PacketCollector(simulator, seed=2)
 
-    # 2. Calibration: 150 packets (3 seconds at 50 packets/s) of the empty room.
-    calibration = collector.collect_empty(num_packets=150)
+    # 2. One declarative config per registered scheme.  The base config also
+    #    fixes the window policy (25 packets = 0.5 s) and the threshold
+    #    policy (derived from the calibration windows).
+    base = PipelineConfig(
+        detector="combined",
+        window_packets=25,
+        calibration_packets=150,
+        threshold_policy="calibration",
+    )
+    configs = {name: base.replace(detector=name) for name in available_detectors()}
 
-    # 3. The three schemes of the paper's evaluation.
-    assert link.array is not None
-    detectors = {
-        "baseline (CSI amplitude)": BaselineDetector(),
-        "subcarrier weighting": SubcarrierWeightingDetector(),
-        "subcarrier + path weighting": SubcarrierPathWeightingDetector(
-            BartlettEstimator(array=link.array)
-        ),
+    # 3. Calibration: 150 packets (3 seconds at 50 packets/s) of the empty room.
+    calibration = collector.collect_empty(num_packets=base.calibration_packets)
+    sessions = {name: config.session(link) for name, config in configs.items()}
+    for session in sessions.values():
+        session.calibrate(calibration)
+
+    # 4. Stream monitoring windows (25 packets = 0.5 s each) through every
+    #    session and collect the emitted detection events.
+    scenarios: dict[str, HumanBody | None] = {
+        "empty room": None,
+        "person on the LOS path": HumanBody(position=Point(4.0, 3.0)),
+        "person 1 m off the path": HumanBody(position=Point(4.0, 4.0)),
+        "person 2.5 m off the path": HumanBody(position=Point(3.0, 5.4)),
     }
-    for detector in detectors.values():
-        detector.calibrate(calibration)
-
-    # 4. Score monitoring windows (25 packets = 0.5 s each).
-    positions = {
-        "person on the LOS path": Point(4.0, 3.0),
-        "person 1 m off the path": Point(4.0, 4.0),
-        "person 2.5 m off the path": Point(3.0, 5.4),
-    }
-    print(f"{'scenario':32s}" + "".join(f"{name:>30s}" for name in detectors))
-
-    empty_scores = {name: [] for name in detectors}
-    for _ in range(5):
-        window = collector.collect_empty(num_packets=25)
-        for name, detector in detectors.items():
-            empty_scores[name].append(detector.score(window))
-    row = "empty room (mean of 5 windows)".ljust(32)
-    for name in detectors:
-        row += f"{sum(empty_scores[name]) / 5:30.4f}"
-    print(row)
-
-    occupied_scores: dict[str, dict[str, float]] = {name: {} for name in detectors}
-    for label, position in positions.items():
-        window = collector.collect(HumanBody(position=position), num_packets=25)
-        row = label.ljust(32)
-        for name, detector in detectors.items():
-            score = detector.score(window)
-            occupied_scores[name][label] = score
-            row += f"{score:30.4f}"
+    labels = [SCHEME_LABELS.get(name, name) for name in sessions]
+    print(f"{'scenario':28s}" + "".join(f"{label:>30s}" for label in labels))
+    for scenario, human in scenarios.items():
+        scene = [human] if human is not None else None
+        window = collector.collect(scene, num_packets=base.window_packets)
+        row = scenario.ljust(28)
+        for name, session in sessions.items():
+            (event,) = session.push_trace(window)
+            flag = "!" if event.detected else " "
+            row += f"{event.score:>28.4f} {flag}"
         print(row)
 
-    # Pick a balanced threshold per scheme from these few samples and report
-    # the resulting decisions.
-    print("\nDecisions at a balanced threshold:")
-    for name, detector in detectors.items():
-        threshold = balanced_threshold(
-            list(occupied_scores[name].values()), empty_scores[name]
-        )
-        detected = sum(score > threshold for score in occupied_scores[name].values())
-        false_alarms = sum(score > threshold for score in empty_scores[name])
+    print("\nDetection events (thresholds derived at calibration time):")
+    for name, session in sessions.items():
+        detections = sum(bool(e.detected) for e in session.events)
         print(
-            f"  {name:30s} threshold {threshold:8.4f}  "
-            f"detected {detected}/3 occupied windows, "
-            f"{false_alarms}/5 false alarms"
+            f"  {SCHEME_LABELS.get(name, name):30s} threshold "
+            f"{session.threshold:8.4f}  {detections}/{len(session.events)} "
+            "windows flagged as occupied"
         )
 
 

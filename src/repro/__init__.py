@@ -15,27 +15,34 @@ The package is organised in layers:
   detection schemes compared in the evaluation.
 * :mod:`repro.experiments` — scenarios, workloads, metrics and figure
   generators reproducing every figure of the paper's evaluation.
+* :mod:`repro.api` — the pipeline API every consumer builds on: a pluggable
+  detector registry, a declarative :class:`~repro.api.config.PipelineConfig`,
+  push-based :class:`~repro.api.session.StreamingSession` monitoring and a
+  :class:`~repro.api.monitor.MultiLinkMonitor` for many links at once.
 
-Quickstart::
+Quickstart (config -> session -> events)::
 
+    from repro.api import PipelineConfig
     from repro.channel import ChannelSimulator, HumanBody, Link, Point, Room
-    from repro.csi import PacketCollector
-    from repro.core import SubcarrierWeightingDetector
 
     room = Room.rectangular(8.0, 6.0)
     link = Link(room=room, tx=Point(2.0, 3.0), rx=Point(6.0, 3.0))
-    collector = PacketCollector(ChannelSimulator(link, seed=1), seed=2)
 
-    detector = SubcarrierWeightingDetector()
-    detector.calibrate(collector.collect_empty(num_packets=100))
+    config = PipelineConfig(detector="subcarrier", window_packets=25)
+    collector = config.collector(ChannelSimulator(link, seed=1))
+    session = config.session(link)
+    session.calibrate(collector.collect_empty(num_packets=config.calibration_packets))
+
     window = collector.collect(HumanBody(position=Point(4.0, 3.0)), num_packets=25)
-    print(detector.score(window))
+    for event in session.push_trace(window):
+        print(event.score, event.detected)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "aoa",
+    "api",
     "channel",
     "core",
     "csi",

@@ -1,0 +1,50 @@
+"""repro.api — the config-driven, streaming, multi-link detection pipeline API.
+
+This subsystem is the single way consumers (the experiment runner, the CLI,
+the examples and future services) construct and drive detection:
+
+* :mod:`repro.api.registry` — a string-keyed :class:`DetectorRegistry` with a
+  :func:`register_detector` decorator, so detection schemes are pluggable
+  instead of a hard-coded triple.
+* :mod:`repro.api.config` — a declarative :class:`PipelineConfig` dataclass
+  (buildable from dict/JSON) capturing detector choice, sanitisation, window
+  policy, threshold policy and collector settings.
+* :mod:`repro.api.session` — a push-based :class:`StreamingSession` that
+  accepts CSI frames one at a time and emits incremental
+  :class:`DetectionEvent` objects — the paper's online monitoring loop.
+* :mod:`repro.api.monitor` — a :class:`MultiLinkMonitor` fanning a shared
+  packet stream across N links with batched, vectorized window scoring.
+
+Quickstart::
+
+    from repro.api import PipelineConfig
+
+    config = PipelineConfig.from_dict({"detector": "combined", "window_packets": 25})
+    session = config.session(link)
+    session.calibrate(collector.collect_empty(num_packets=config.calibration_packets))
+    for frame in collector.collect(scene, num_packets=25):
+        event = session.push(frame)
+        if event is not None:
+            print(event.to_dict())
+"""
+
+from repro.api.config import PipelineConfig
+from repro.api.monitor import MultiLinkMonitor
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    DetectorRegistry,
+    available_detectors,
+    register_detector,
+)
+from repro.api.session import DetectionEvent, StreamingSession
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "DetectionEvent",
+    "DetectorRegistry",
+    "MultiLinkMonitor",
+    "PipelineConfig",
+    "StreamingSession",
+    "available_detectors",
+    "register_detector",
+]

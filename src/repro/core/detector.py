@@ -54,6 +54,14 @@ class DetectionResult:
     threshold: float
     detected: bool
 
+    def to_dict(self) -> dict[str, float | bool]:
+        """The result as a plain JSON-serialisable dict."""
+        return {
+            "score": float(self.score),
+            "threshold": float(self.threshold),
+            "detected": bool(self.detected),
+        }
+
 
 class _BaseDetector:
     """Common calibration plumbing shared by the three schemes."""

@@ -39,18 +39,28 @@ class PacketCollector:
         shift subsequent timestamps exactly as they would on hardware.
     seed:
         Seed for the loss process and per-packet impairments.
+    rng:
+        Explicit generator for the loss process and impairments; takes
+        precedence over *seed*.  Passing the same generator to several
+        collectors (or other components) makes them share one stream,
+        mirroring :func:`repro.utils.rng.ensure_rng` usage elsewhere.
     """
 
     simulator: ChannelSimulator
     packet_rate_hz: float = DEFAULT_PACKET_RATE_HZ
     loss_probability: float = 0.0
     seed: SeedLike = None
+    rng: np.random.Generator | None = None
 
     def __post_init__(self) -> None:
         if self.packet_rate_hz <= 0:
             raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz}")
         check_probability("loss_probability", self.loss_probability)
-        self._rng = ensure_rng(self.seed)
+        if self.rng is not None and not isinstance(self.rng, np.random.Generator):
+            raise TypeError(
+                f"rng must be a numpy.random.Generator, got {type(self.rng).__name__}"
+            )
+        self._rng = self.rng if self.rng is not None else ensure_rng(self.seed)
 
     # ------------------------------------------------------------------ #
     # static scenes

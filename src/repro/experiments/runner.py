@@ -12,22 +12,16 @@ figures as well as the headline numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Sequence
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
-import numpy as np
-
-from repro.aoa.bartlett import BartlettEstimator
-from repro.aoa.music import MusicEstimator
+from repro.api.config import PipelineConfig
+from repro.api.registry import DEFAULT_REGISTRY, DetectorRegistry
 from repro.channel.channel import ChannelSimulator, Link
 from repro.channel.human import HumanBody
 from repro.channel.noise import ImpairmentModel
 from repro.channel.propagation import PropagationModel
-from repro.core.detector import (
-    BaselineDetector,
-    SubcarrierPathWeightingDetector,
-    SubcarrierWeightingDetector,
-)
 from repro.core.thresholds import RocCurve, detection_rates_at_threshold, roc_curve
 from repro.csi.collector import PacketCollector
 from repro.csi.trace import CSITrace
@@ -89,6 +83,51 @@ class EvaluationConfig:
             position=position,
             min_attenuation=self.human_min_attenuation,
             reflection_coefficient=self.human_reflection,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationConfig":
+        """Build a campaign config from a plain mapping, rejecting unknown keys.
+
+        List values for tuple fields (``schemes``) are coerced, so configs can
+        round-trip through JSON.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown EvaluationConfig keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        values = dict(data)
+        if "schemes" in values and not isinstance(values["schemes"], tuple):
+            values["schemes"] = tuple(values["schemes"])
+        return cls(**values)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The campaign config as a plain dict (``from_dict`` inverse)."""
+        data = dataclasses.asdict(self)
+        data["schemes"] = list(self.schemes)
+        return data
+
+    def pipeline_config(self, scheme: str) -> PipelineConfig:
+        """The :class:`~repro.api.config.PipelineConfig` for one scheme.
+
+        This is the bridge between the campaign knobs and ``repro.api``: every
+        detector of the evaluation is constructed from exactly this config, so
+        a campaign detector and a pipeline built from the same settings are
+        byte-identical.
+        """
+        return PipelineConfig(
+            detector=scheme,
+            use_stability_ratio=self.use_stability_ratio,
+            spectrum="music" if self.use_music_spectrum else "bartlett",
+            theta_min_deg=self.theta_min_deg,
+            theta_max_deg=self.theta_max_deg,
+            window_packets=self.window_packets,
+            calibration_packets=self.calibration_packets,
+            packet_rate_hz=self.packet_rate_hz,
+            seed=self.seed,
         )
 
 
@@ -209,31 +248,35 @@ class EvaluationResult:
 # --------------------------------------------------------------------------- #
 # detector construction
 # --------------------------------------------------------------------------- #
-def build_detectors(link: Link, config: EvaluationConfig) -> dict[str, object]:
-    """Instantiate the requested detection schemes for one link."""
-    detectors: dict[str, object] = {}
-    if "baseline" in config.schemes:
-        detectors["baseline"] = BaselineDetector()
-    if "subcarrier" in config.schemes:
-        detectors["subcarrier"] = SubcarrierWeightingDetector(
-            use_stability_ratio=config.use_stability_ratio
-        )
-    if "combined" in config.schemes:
-        assert link.array is not None
-        if config.use_music_spectrum:
-            estimator: object = MusicEstimator(array=link.array, num_sources=2)
-        else:
-            estimator = BartlettEstimator(array=link.array)
-        detectors["combined"] = SubcarrierPathWeightingDetector(
-            estimator,
-            theta_min_deg=config.theta_min_deg,
-            theta_max_deg=config.theta_max_deg,
-            use_stability_ratio=config.use_stability_ratio,
-        )
-    unknown = set(config.schemes) - set(SCHEMES)
+def build_detectors(
+    link: Link,
+    config: EvaluationConfig,
+    *,
+    registry: DetectorRegistry | None = None,
+) -> dict[str, object]:
+    """Instantiate the requested detection schemes for one link.
+
+    .. deprecated:: 1.1.0
+        This is a thin shim over :mod:`repro.api`: every scheme is resolved
+        through the :class:`~repro.api.registry.DetectorRegistry` from the
+        :meth:`EvaluationConfig.pipeline_config` of that scheme.  New code
+        should build detectors from a :class:`~repro.api.config.PipelineConfig`
+        directly; this entry point remains for the campaign driver and
+        existing callers.
+
+    Custom schemes registered via :func:`repro.api.register_detector` are
+    picked up automatically when named in ``config.schemes``.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    unknown = [scheme for scheme in config.schemes if scheme not in registry]
     if unknown:
         raise ValueError(f"unknown schemes requested: {sorted(unknown)}")
-    return detectors
+    return {
+        scheme: registry.create(
+            scheme, config=config.pipeline_config(scheme), link=link
+        )
+        for scheme in config.schemes
+    }
 
 
 # --------------------------------------------------------------------------- #
