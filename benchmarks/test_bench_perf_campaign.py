@@ -1,0 +1,58 @@
+"""Perf benchmark: the evaluation campaign on the window-cached substrate.
+
+Before the window-cached CFR synthesis the five-case campaign re-enumerated
+paths and re-synthesized the clean CFR for every one of its ~7,500 packets
+(~3.4 s/case, ~17 s per campaign on the reference container).  With the clean
+CFR computed once per static monitoring window the same bit-identical
+campaign runs in ~3.4 s total (~4.7x).  This benchmark records the campaign
+wall-clock and the raw collector throughput in the BENCH JSON so the perf
+trajectory is tracked from this PR on; `--workers N` (or
+``EvaluationConfig(max_workers=N)``) additionally shards cases over processes
+on multi-core hosts with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.channel import ChannelSimulator
+from repro.channel.propagation import PropagationModel
+from repro.csi.collector import PacketCollector
+from repro.experiments.runner import EvaluationConfig, run_evaluation
+from repro.experiments.scenarios import evaluation_cases
+
+
+def test_campaign_five_cases_single_process(benchmark):
+    """Wall-clock of the default five-case campaign, single process."""
+    result = benchmark.pedantic(
+        lambda: run_evaluation(EvaluationConfig(seed=2015)), rounds=1, iterations=1
+    )
+    headline = result.headline()
+    print("\n=== Campaign perf: headline sanity on the timed run ===")
+    for scheme, stats in headline.items():
+        print(
+            f"{scheme:12s} TPR={stats['true_positive_rate']:.3f} "
+            f"FPR={stats['false_positive_rate']:.3f}"
+        )
+    # The timed campaign is the real one: its numbers must stay sane.
+    assert headline["combined"]["true_positive_rate"] > 0.85
+    assert headline["combined"]["false_positive_rate"] < 0.1
+
+
+def test_window_cached_collect_throughput(benchmark):
+    """Raw collector throughput: one 150-packet static window on case-1."""
+    _, link = evaluation_cases()[0]
+    simulator = ChannelSimulator(
+        link,
+        propagation=PropagationModel(tx_power=link.tx_power),
+        max_bounces=2,
+        seed=7,
+    )
+    collector = PacketCollector(simulator, rng=np.random.default_rng(7))
+    trace = benchmark.pedantic(
+        lambda: collector.collect(None, num_packets=150),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert trace.num_packets == 150

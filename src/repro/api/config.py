@@ -133,9 +133,11 @@ class PipelineConfig:
             )
         if self.packet_rate_hz <= 0:
             raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz}")
-        if not 0.0 <= self.loss_probability <= 1.0:
+        if not 0.0 <= self.loss_probability < 1.0:
+            # The upper bound is exclusive: a collector with certain loss can
+            # never complete a fixed-size capture (see PacketCollector).
             raise ValueError(
-                f"loss_probability must be in [0, 1], got {self.loss_probability}"
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
             )
 
     # ------------------------------------------------------------------ #

@@ -178,6 +178,18 @@ class ChannelSimulator:
             frequencies=self.frequencies,
         )
 
+    def impair(self, clean: np.ndarray, *, seed: SeedLike = None) -> np.ndarray:
+        """Apply this simulator's per-packet impairments to a clean CFR.
+
+        This is the second half of :meth:`sample_packet`; callers that cache
+        the clean CFR of a static scene (for example
+        :meth:`repro.csi.collector.PacketCollector.collect`) use it to draw
+        per-packet impairments with exactly the same RNG consumption as the
+        uncached path.
+        """
+        rng = ensure_rng(seed) if seed is not None else self._rng
+        return self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
+
     def sample_packet(
         self,
         humans: Sequence[HumanBody] | HumanBody | None = None,
@@ -185,9 +197,7 @@ class ChannelSimulator:
         seed: SeedLike = None,
     ) -> np.ndarray:
         """One CSI packet including measurement impairments."""
-        rng = ensure_rng(seed) if seed is not None else self._rng
-        clean = self.clean_cfr(humans)
-        return self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
+        return self.impair(self.clean_cfr(humans), seed=seed)
 
     def sample_burst(
         self,
@@ -200,19 +210,17 @@ class ChannelSimulator:
 
         Returns an array of shape ``(num_packets, num_antennas,
         num_subcarriers)``.  The clean CFR is computed once (the scene is
-        static); only the impairments differ per packet, mirroring how the
-        hardware behaves between scene changes.
+        static) and the per-packet impairments are drawn in one vectorized
+        :meth:`~repro.channel.noise.ImpairmentModel.apply_batch` pass, so
+        bursts are cheap even for large *num_packets*.
         """
         if num_packets < 1:
             raise ValueError(f"num_packets must be >= 1, got {num_packets}")
         rng = ensure_rng(seed) if seed is not None else self._rng
         clean = self.clean_cfr(humans)
-        packets = np.empty(
-            (num_packets, clean.shape[0], clean.shape[1]), dtype=complex
+        return self.impairments.apply_batch(
+            clean, self.subcarrier_indices, num_packets=num_packets, seed=rng
         )
-        for p in range(num_packets):
-            packets[p] = self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
-        return packets
 
     def sample_trajectory(
         self,
@@ -254,13 +262,18 @@ class ChannelSimulator:
         return list(humans)
 
     def with_impairments(self, impairments: ImpairmentModel) -> "ChannelSimulator":
-        """A new simulator on the same link with different impairments."""
+        """A new simulator on the same link with different impairments.
+
+        The clone gets an independent child generator derived from this
+        simulator's stream (advancing the parent by exactly one draw), so
+        sampling from the clone never mutates the parent's RNG state.
+        """
         clone = ChannelSimulator(
             self.link,
             propagation=self.propagation,
             impairments=impairments,
             materials=self.materials,
             max_bounces=self.tracer.max_bounces,
-            seed=self._rng,
+            seed=derive_rng(self._rng, "with_impairments"),
         )
         return clone

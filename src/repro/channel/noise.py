@@ -106,6 +106,88 @@ class ImpairmentModel:
 
         return noisy
 
+    def apply_batch(
+        self,
+        cfr: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        *,
+        num_packets: int | None = None,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Apply per-packet impairments to a whole burst in one vectorized pass.
+
+        Accepts either a single clean CFR of shape ``(antennas, subcarriers)``
+        (broadcast to *num_packets* packets of the same static scene) or a
+        stack of per-packet CFRs of shape ``(packets, antennas, subcarriers)``
+        (for example a trajectory).  Every random quantity is drawn per packet
+        exactly as in :meth:`apply`, but the draws are batched per impairment
+        rather than per packet, so for a given generator the *values* differ
+        from ``num_packets`` sequential :meth:`apply` calls while the
+        distribution is identical.  Use this in bulk-generation scenarios
+        (streaming demos, multi-link traffic) that do not need draw-order
+        parity with the sequential path; the packet collector's campaign path
+        keeps the sequential draws so traces stay bit-identical.
+
+        Returns an array of shape ``(packets, antennas, subcarriers)``.
+        """
+        rng = ensure_rng(seed)
+        cfr = np.asarray(cfr, dtype=complex)
+        if cfr.ndim == 2:
+            if num_packets is None:
+                raise ValueError(
+                    "num_packets is required when cfr has shape (antennas, subcarriers)"
+                )
+            if num_packets < 1:
+                raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+            cfr = np.broadcast_to(cfr, (num_packets, *cfr.shape))
+        elif cfr.ndim == 3:
+            if num_packets is not None and num_packets != cfr.shape[0]:
+                raise ValueError(
+                    f"num_packets={num_packets} conflicts with cfr stack of "
+                    f"{cfr.shape[0]} packets"
+                )
+        else:
+            raise ValueError(
+                "cfr must have shape (antennas, subcarriers) or "
+                f"(packets, antennas, subcarriers), got {cfr.shape}"
+            )
+        packets, antennas, subcarriers = cfr.shape
+        indices = np.asarray(subcarrier_indices, dtype=float)
+        if indices.shape != (subcarriers,):
+            raise ValueError(
+                f"subcarrier_indices has shape {indices.shape}, expected ({subcarriers},)"
+            )
+        noisy = cfr.copy()
+
+        if self.cfo_phase:
+            common_phase = rng.uniform(0.0, 2.0 * np.pi, size=packets)
+            noisy *= np.exp(1j * common_phase)[:, None, None]
+
+        if self.sfo_slope_std > 0:
+            slope = rng.normal(0.0, self.sfo_slope_std, size=packets)
+            noisy *= np.exp(1j * slope[:, None, None] * indices[None, None, :])
+
+        if self.antenna_phase_offsets and antennas > 1:
+            offsets = rng.normal(0.0, 0.1, size=(packets, antennas))
+            noisy *= np.exp(1j * offsets)[:, :, None]
+
+        if self.agc_std_db > 0:
+            gain_db = rng.normal(0.0, self.agc_std_db, size=packets)
+            noisy *= (10.0 ** (gain_db / 20.0))[:, None, None]
+
+        mean_power = np.mean(np.abs(cfr) ** 2, axis=(1, 2))
+        if np.isfinite(self.snr_db) and np.any(mean_power > 0):
+            # Per-packet noise power tracks each packet's own clean CFR, as in
+            # apply(); standard normals are scaled per packet so a zero-power
+            # packet receives exactly zero noise.
+            sigma = np.sqrt(mean_power / (10.0 ** (self.snr_db / 10.0)) / 2.0)
+            noise = rng.normal(0.0, 1.0, size=cfr.shape) + 1j * rng.normal(
+                0.0, 1.0, size=cfr.shape
+            )
+            noisy += noise * sigma[:, None, None]
+
+        return noisy
+
     def noiseless(self) -> "ImpairmentModel":
         """A copy of this model with every impairment switched off.
 

@@ -67,10 +67,12 @@ def synthesize_cfr(
         if array is None:
             cfr[0] += base
             continue
-        for m in range(num_antennas):
-            # Extra travel distance to element m for this arrival angle.
-            steer_phase = array.phase_shifts(path.aoa_rad, 1.0)[m]  # per unit frequency
-            cfr[m] += base * np.exp(-1j * steer_phase * freqs)
+        # Extra travel distance per element for this arrival angle, applied to
+        # all elements at once.  Accumulation stays per path (not one big
+        # stacked sum) so the floating-point order — and therefore the exact
+        # bit pattern — matches the historical per-antenna loop.
+        steer_phases = array.phase_shifts(path.aoa_rad, 1.0)  # per unit frequency
+        cfr += base[None, :] * np.exp(-1j * steer_phases[:, None] * freqs[None, :])
     return cfr
 
 

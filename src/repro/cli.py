@@ -107,6 +107,8 @@ def _build_config(args: argparse.Namespace) -> EvaluationConfig:
         for key in _DEFAULTS
         if getattr(args, key) is not None
     }
+    if getattr(args, "workers", None) is not None:
+        overrides["max_workers"] = args.workers
     return dataclasses.replace(config, **overrides) if overrides else config
 
 
@@ -276,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="packets per monitoring window (default 25)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes sharding the campaign's link cases (default 1; the "
+        "result is bit-identical for any worker count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

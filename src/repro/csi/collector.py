@@ -6,6 +6,13 @@ the CSI tool reports one CSI group per received packet.  The
 :class:`~repro.channel.channel.ChannelSimulator`, producing
 :class:`~repro.csi.trace.CSITrace` objects with realistic timestamps and
 optional packet loss.
+
+Within one monitoring window the scene is static, so the clean CFR is
+computed once per :meth:`PacketCollector.collect` call and only the
+per-packet impairments (and loss draws) run in the acquisition loop.  The
+draws consume the collector's RNG stream in exactly the same order as the
+historical per-packet path (loss draw, then impairment draws, per ping), so
+collected traces are bit-identical to the uncached implementation.
 """
 
 from __future__ import annotations
@@ -23,6 +30,13 @@ from repro.csi.trace import CSITrace
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_probability
 
+#: Consecutive lost pings after which collection aborts.  With the validated
+#: ``loss_probability < 1`` this is astronomically unlikely to trigger for any
+#: sane configuration (p = 0.999 reaches it with probability ~1e-44); it
+#: exists to turn a mis-modelled loss process into a clear error instead of a
+#: silent near-infinite loop.
+MAX_CONSECUTIVE_LOSSES = 100_000
+
 
 @dataclass
 class PacketCollector:
@@ -36,7 +50,8 @@ class PacketCollector:
         Ping rate; the paper uses 50 packets per second.
     loss_probability:
         Independent probability that a ping is lost (no CSI reported).  Losses
-        shift subsequent timestamps exactly as they would on hardware.
+        shift subsequent timestamps exactly as they would on hardware.  Must
+        be strictly below 1: with certain loss no capture can ever complete.
     seed:
         Seed for the loss process and per-packet impairments.
     rng:
@@ -56,11 +71,33 @@ class PacketCollector:
         if self.packet_rate_hz <= 0:
             raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz}")
         check_probability("loss_probability", self.loss_probability)
+        if self.loss_probability >= 1.0:
+            raise ValueError(
+                "loss_probability must be < 1: with certain loss a fixed-size "
+                f"capture never completes, got {self.loss_probability}"
+            )
         if self.rng is not None and not isinstance(self.rng, np.random.Generator):
             raise TypeError(
                 f"rng must be a numpy.random.Generator, got {type(self.rng).__name__}"
             )
         self._rng = self.rng if self.rng is not None else ensure_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # loss process
+    # ------------------------------------------------------------------ #
+    def _ping_lost(self, consecutive_losses: int) -> bool:
+        """One loss draw; raise if the loss streak exceeds the retry cap."""
+        if self.loss_probability <= 0:
+            return False
+        if self._rng.random() >= self.loss_probability:
+            return False
+        if consecutive_losses + 1 >= MAX_CONSECUTIVE_LOSSES:
+            raise RuntimeError(
+                f"aborting capture: {MAX_CONSECUTIVE_LOSSES} consecutive pings "
+                f"lost at loss_probability={self.loss_probability}; the loss "
+                "process never delivers packets"
+            )
+        return True
 
     # ------------------------------------------------------------------ #
     # static scenes
@@ -78,18 +115,28 @@ class PacketCollector:
         Lost pings are skipped (they consume time but produce no CSI), so the
         returned trace always contains exactly *num_packets* frames, matching
         how a fixed-size capture is gathered on hardware.
+
+        The scene is static within the capture, so the clean CFR is
+        synthesized once and only the per-packet impairments run in the loop;
+        the RNG draw order (loss draw, then impairment draws, per ping) is
+        identical to sampling every packet from scratch, making the trace
+        bit-identical to the per-packet path at a fraction of the cost.
         """
         if num_packets < 1:
             raise ValueError(f"num_packets must be >= 1, got {num_packets}")
         interval = 1.0 / self.packet_rate_hz
+        clean = self.simulator.clean_cfr(humans)
         frames = []
         timestamps = []
         t = start_time
+        consecutive_losses = 0
         while len(frames) < num_packets:
             t += interval
-            if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            if self._ping_lost(consecutive_losses):
+                consecutive_losses += 1
                 continue
-            frames.append(self.simulator.sample_packet(humans, seed=self._rng))
+            consecutive_losses = 0
+            frames.append(self.simulator.impair(clean, seed=self._rng))
             timestamps.append(t)
         return CSITrace(
             csi=np.asarray(frames),
@@ -113,17 +160,41 @@ class PacketCollector:
         label: str = "walk",
         start_time: float = 0.0,
     ) -> CSITrace:
-        """Collect one packet per position along a walking trajectory.
+        """Collect packets for a person walking along a trajectory.
 
         The trajectory should already be sampled at the packet rate (use
-        :func:`repro.experiments.workloads.walking_trajectory`); each packet
+        :func:`repro.experiments.workloads.walking_trajectory`); each ping
         sees the person at the corresponding position.
+
+        The loss process is the same as :meth:`collect`: a lost ping consumes
+        its trajectory position (the person keeps walking) and shifts
+        subsequent timestamps, but produces no CSI.  With loss enabled the
+        returned trace therefore holds *fewer* packets than positions — the
+        walk is bounded in time, unlike a fixed-size static capture.  With
+        ``loss_probability=0`` there is exactly one packet per position.
         """
         if not positions:
             raise ValueError("positions must contain at least one point")
         interval = 1.0 / self.packet_rate_hz
-        csi = self.simulator.sample_trajectory(
-            positions, body=body, background=background, seed=self._rng
+        template = (
+            body if body is not None else HumanBody(position=self.simulator.link.midpoint())
         )
-        timestamps = start_time + interval * (1 + np.arange(len(positions)))
-        return CSITrace(csi=csi, timestamps=timestamps, label=label)
+        frames = []
+        timestamps = []
+        t = start_time
+        for position in positions:
+            t += interval
+            if self._ping_lost(0):
+                continue
+            person = template.moved_to(position)
+            clean = self.simulator.clean_cfr([person, *background])
+            frames.append(self.simulator.impair(clean, seed=self._rng))
+            timestamps.append(t)
+        if not frames:
+            raise RuntimeError(
+                f"every ping of the {len(positions)}-position walk was lost "
+                f"(loss_probability={self.loss_probability}); no CSI collected"
+            )
+        return CSITrace(
+            csi=np.asarray(frames), timestamps=np.asarray(timestamps), label=label
+        )

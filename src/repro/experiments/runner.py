@@ -48,10 +48,16 @@ class EvaluationConfig:
     human grids per case, three monitoring bursts per location, 0.5-second
     monitoring windows at 50 packets per second, background students and
     slow environmental drift between windows.
+
+    ``max_workers`` controls how many link cases :func:`run_evaluation` runs
+    concurrently (in separate processes).  Each case already derives its own
+    seed from ``seed + 1000 * case_index``, so the campaign result is
+    bit-identical for every worker count.
     """
 
     calibration_packets: int = 150
     window_packets: int = 25
+    max_workers: int = 1
     windows_per_location: int = 3
     grid_rows: int = 3
     grid_cols: int = 3
@@ -72,6 +78,10 @@ class EvaluationConfig:
     theta_max_deg: float = 60.0
     schemes: tuple[str, ...] = SCHEMES
     seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
 
     def impairments(self) -> ImpairmentModel:
         """The per-packet impairment model used by every case."""
@@ -409,8 +419,17 @@ def run_evaluation(
     config: EvaluationConfig | None = None,
     *,
     cases: Sequence[tuple[Scenario, Link]] | None = None,
+    parallel: bool | None = None,
+    max_workers: int | None = None,
 ) -> EvaluationResult:
     """Run the campaign over all evaluation cases (the 5 office links).
+
+    Cases are embarrassingly parallel: every case derives its own seed
+    (``config.seed + 1000 * case_index``) and shares no mutable state, so the
+    campaign can be sharded over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    with bit-identical results for any worker count.  Per-case window lists
+    are merged back in case order, so the result's window ordering is also
+    deterministic.
 
     Parameters
     ----------
@@ -419,12 +438,55 @@ def run_evaluation(
     cases:
         Optional subset of (scenario, link) pairs; defaults to the paper's
         five cases from :func:`repro.experiments.scenarios.evaluation_cases`.
+    parallel:
+        Force sequential (``False``) or process-parallel (``True``) execution;
+        ``None`` (default) parallelises exactly when the effective worker
+        count exceeds one.  ``True`` always goes through the process pool,
+        even with a single worker.
+    max_workers:
+        Worker-count override; ``None`` uses ``config.max_workers``.
+
+    Notes
+    -----
+    Worker processes resolve scheme names through their own process-global
+    :data:`~repro.api.registry.DEFAULT_REGISTRY`.  Under the ``fork`` start
+    method (Linux default) runtime registrations are inherited; on platforms
+    whose executors spawn fresh interpreters (``spawn``/``forkserver``),
+    custom detectors registered via :func:`repro.api.register_detector` must
+    be registered at import time of an importable module, or the workers will
+    reject the scheme as unknown.
     """
     config = config if config is not None else EvaluationConfig()
     case_list = list(cases) if cases is not None else evaluation_cases()
     if not case_list:
         raise ValueError("run_evaluation requires at least one case")
+    workers = config.max_workers if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {workers}")
+    workers = min(workers, len(case_list))
+    if parallel is None:
+        parallel = workers > 1
+    seeds = [config.seed + 1000 * index for index in range(len(case_list))]
+
+    per_case: list[list[ScoredWindow]]
+    if not parallel:
+        per_case = [
+            run_case(link, config, case_seed=seed)
+            for (_, link), seed in zip(case_list, seeds)
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(run_case, link, config, case_seed=seed)
+                for (_, link), seed in zip(case_list, seeds)
+            ]
+            # Collect in submission order: the merged window list is identical
+            # to the sequential campaign regardless of completion order.
+            per_case = [future.result() for future in futures]
+
     windows: list[ScoredWindow] = []
-    for index, (_, link) in enumerate(case_list):
-        windows.extend(run_case(link, config, case_seed=config.seed + 1000 * index))
+    for case_windows in per_case:
+        windows.extend(case_windows)
     return EvaluationResult(windows=windows, config=config)

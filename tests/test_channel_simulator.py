@@ -130,3 +130,36 @@ class TestSampling:
         clean = simulator.with_impairments(ImpairmentModel().noiseless())
         assert clean is not simulator
         assert clean.link is simulator.link
+
+    def test_with_impairments_clone_does_not_mutate_parent_stream(self, link):
+        # Regression: the clone used to share the parent's generator, so
+        # sampling from the clone silently advanced the parent's stream.
+        parent = ChannelSimulator(link, seed=42)
+        clone = parent.with_impairments(ImpairmentModel(snr_db=10.0))
+        state_after_clone = parent._rng.bit_generator.state
+        clone.sample_packet(None)
+        clone.sample_burst(None, num_packets=5)
+        assert parent._rng.bit_generator.state == state_after_clone
+
+    def test_with_impairments_clone_stream_is_deterministic(self, link):
+        # Two identically-seeded parents derive identically-seeded clones.
+        a = ChannelSimulator(link, seed=42).with_impairments(ImpairmentModel(snr_db=10.0))
+        b = ChannelSimulator(link, seed=42).with_impairments(ImpairmentModel(snr_db=10.0))
+        assert np.array_equal(a.sample_packet(None), b.sample_packet(None))
+
+    def test_sample_burst_reproducible_and_varied(self, simulator, human):
+        a = simulator.sample_burst(human, num_packets=5, seed=8)
+        b = simulator.sample_burst(human, num_packets=5, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.allclose(a[0], a[1])
+
+    def test_impair_consumes_rng_like_sample_packet(self, link):
+        # impair() on a cached clean CFR is the per-packet path split in two:
+        # identical draws, identical packet.
+        sim = ChannelSimulator(link, seed=0)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        clean = sim.clean_cfr(None)
+        assert np.array_equal(
+            sim.impair(clean, seed=rng_a), sim.sample_packet(None, seed=rng_b)
+        )

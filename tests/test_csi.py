@@ -149,12 +149,61 @@ class TestPacketCollector:
         with pytest.raises(ValueError):
             PacketCollector(simulator).collect_empty(num_packets=0)
 
+    def test_certain_loss_rejected_at_construction(self, simulator):
+        # Regression: loss_probability=1.0 used to spin forever inside
+        # collect(); it is now rejected before any capture can start.
+        with pytest.raises(ValueError, match="loss_probability must be < 1"):
+            PacketCollector(simulator, loss_probability=1.0)
+
+    def test_pathological_loss_stream_aborts_with_clear_error(self, simulator):
+        # A generator whose loss draws always lose (valid probability, broken
+        # stream) must hit the retry cap instead of looping forever.
+        class _AlwaysLost(np.random.Generator):
+            def __init__(self) -> None:
+                super().__init__(np.random.PCG64(0))
+
+            def random(self, *args, **kwargs):  # noqa: ARG002
+                return 0.0
+
+        lossy = PacketCollector(simulator, loss_probability=0.5, rng=_AlwaysLost())
+        with pytest.raises(RuntimeError, match="consecutive pings"):
+            lossy.collect_empty(num_packets=1)
+
     def test_collect_walk(self, collector, link):
         positions = [Point(3.0, 1.0), Point(3.0, 3.0), Point(3.0, 5.0)]
         trace = collector.collect_walk(positions)
         assert trace.num_packets == 3
         with pytest.raises(ValueError):
             collector.collect_walk([])
+
+    def test_collect_walk_applies_loss(self, simulator, link):
+        # Regression: collect_walk used to ignore loss_probability entirely.
+        # Lost pings consume their trajectory position and shift timestamps
+        # but produce no CSI, so a lossy walk yields fewer packets while the
+        # surviving timestamps stay on the ping grid.
+        positions = [
+            Point(2.0 + 0.1 * i, 2.0 + 0.05 * i) for i in range(40)
+        ]
+        lossy = PacketCollector(simulator, loss_probability=0.5, seed=123)
+        trace = lossy.collect_walk(positions)
+        assert 0 < trace.num_packets < len(positions)
+        interval = 1.0 / lossy.packet_rate_hz
+        ping_slots = np.rint(trace.timestamps / interval)
+        assert np.allclose(trace.timestamps, ping_slots * interval)
+        assert len(np.unique(ping_slots)) == trace.num_packets
+
+    def test_collect_walk_without_loss_matches_trajectory_sampling(self, link):
+        # With loss disabled the walk is bit-identical to sampling the
+        # trajectory directly with the same stream (the historical behaviour).
+        from repro.channel import ChannelSimulator
+
+        positions = [Point(3.0, 1.0 + 0.5 * i) for i in range(6)]
+        sim = ChannelSimulator(link, seed=77)
+        walker = PacketCollector(sim, seed=5)
+        trace = walker.collect_walk(positions)
+        reference = sim.sample_trajectory(positions, seed=np.random.default_rng(5))
+        assert np.array_equal(trace.csi, reference)
+        assert trace.num_packets == len(positions)
 
     def test_occupied_trace_differs_from_empty(self, collector, human):
         empty = collector.collect_empty(num_packets=10)
