@@ -1,0 +1,85 @@
+"""Perf/durability benchmark: a 4-point smoke sweep with a persistent store.
+
+The sweep runner shards ``(point, case)`` work units over one process pool,
+so even small sweeps parallelise past the five-cases-per-campaign ceiling of
+``run_evaluation``.  This benchmark times a 4-point, workers=2 smoke sweep
+(CI uploads its ``SweepStore`` JSONL next to the bench JSON so every push
+leaves a queryable sweep artifact), then asserts the durability contract:
+killing a sweep mid-run — simulated by truncating the store to a torn partial
+line — and rerunning with ``resume=True`` completes only the missing points
+and reproduces the uninterrupted store byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.runner import EvaluationConfig
+from repro.sweep import SweepAxis, SweepSpec, SweepStore, run_sweep
+
+#: Store written by the smoke sweep; uploaded as a CI artifact next to the
+#: benchmark JSON (see .github/workflows/ci.yml).
+SMOKE_STORE_PATH = Path("bench-sweep-store.jsonl")
+
+
+def smoke_spec() -> SweepSpec:
+    """4 points (2 seeds x 2 window sizes) over two cases, sized for CI."""
+    return SweepSpec(
+        name="ci-smoke",
+        base=EvaluationConfig(
+            calibration_packets=40,
+            windows_per_location=1,
+            grid_rows=1,
+            grid_cols=2,
+            max_bounces=1,
+            schemes=("baseline", "subcarrier"),
+        ),
+        axes=(
+            SweepAxis("seed", (2015, 2016)),
+            SweepAxis("window_packets", (8, 12)),
+        ),
+        cases=("case-1", "case-4"),
+    )
+
+
+def test_smoke_sweep_four_points_two_workers(benchmark):
+    """Wall-clock of the 4-point smoke sweep sharded over 2 workers."""
+    spec = smoke_spec()
+
+    def run():
+        SMOKE_STORE_PATH.unlink(missing_ok=True)
+        return run_sweep(spec, SMOKE_STORE_PATH, max_workers=2)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(outcome.executed) == spec.num_points
+    records = SweepStore(SMOKE_STORE_PATH).records()
+    assert [r.point_id for r in records] == [p.point_id for p in spec.expand()]
+    print("\n=== Sweep smoke: per-point subcarrier AUC ===")
+    for record in records:
+        auc = record.result.headline()["subcarrier"]["auc"]
+        print(f"{record.point_id} {record.overrides} AUC={auc:.3f}")
+
+
+def test_resume_after_kill_recomputes_nothing_finished(benchmark, tmp_path):
+    """Kill-and-resume: finished points are reused, only missing ones run."""
+    spec = smoke_spec()
+    reference = tmp_path / "reference.jsonl"
+    run_sweep(spec, reference, max_workers=2)
+    reference_bytes = reference.read_bytes()
+    lines = reference_bytes.decode().splitlines()
+
+    # Simulate a mid-write kill: two finished points plus a torn third line.
+    interrupted = tmp_path / "interrupted.jsonl"
+
+    def resume():
+        interrupted.write_text("\n".join(lines[:2]) + "\n" + lines[2][:64])
+        return run_sweep(spec, interrupted, max_workers=2, resume=True)
+
+    outcome = benchmark.pedantic(resume, rounds=1, iterations=1)
+    assert len(outcome.skipped) == 2  # finished points were not recomputed
+    assert len(outcome.executed) == spec.num_points - 2
+    # The resumed store is byte-identical to the uninterrupted run, and the
+    # surviving prefix was reused in place rather than rewritten.
+    resumed_bytes = interrupted.read_bytes()
+    assert resumed_bytes == reference_bytes
+    assert resumed_bytes.startswith(("\n".join(lines[:2]) + "\n").encode())

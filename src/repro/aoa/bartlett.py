@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aoa.covariance import spatial_covariance
-from repro.aoa.music import PseudoSpectrum
+from repro.aoa.music import PseudoSpectrum, grid_steering_matrix
 from repro.channel.antenna import UniformLinearArray
 from repro.channel.constants import CHANNEL_11_CENTER_HZ
 
@@ -54,22 +54,57 @@ class BartlettEstimator:
         if self.angle_grid_deg.ndim != 1 or self.angle_grid_deg.size < 2:
             raise ValueError("angle_grid_deg must be a 1-D array with at least 2 angles")
 
+    def steering(self) -> np.ndarray:
+        """The cached steering matrix over the angle grid (see
+        :func:`~repro.aoa.music.grid_steering_matrix`)."""
+        return grid_steering_matrix(self)
+
+    def pseudospectra_from_covariances(
+        self, covariances: np.ndarray
+    ) -> list[PseudoSpectrum]:
+        """Angular power spectra of a batch of covariance matrices.
+
+        All spectra are evaluated in a single steering-matrix einsum over the
+        whole angle grid; the values are bit-identical to evaluating each
+        covariance (or each angle) individually.
+
+        Parameters
+        ----------
+        covariances:
+            Complex covariance stack of shape ``(N, antennas, antennas)``.
+        """
+        covariances = np.asarray(covariances, dtype=complex)
+        expected = (self.array.num_elements, self.array.num_elements)
+        if covariances.ndim != 3 or covariances.shape[1:] != expected:
+            raise ValueError(
+                f"covariances must have shape (N, {expected[0]}, {expected[1]}), "
+                f"got {covariances.shape}"
+            )
+        steering = self.steering()
+        # Quadratic form per angle: a^H R a, normalised by M^2 so that a
+        # single unit-power plane wave yields a peak value of ~1.
+        quad = np.einsum("ik,nij,jk->nk", steering.conj(), covariances, steering)
+        values = np.maximum(np.real(quad) / (self.array.num_elements**2), 0.0)
+        return [PseudoSpectrum(self.angle_grid_deg.copy(), row) for row in values]
+
     def pseudospectrum_from_covariance(self, covariance: np.ndarray) -> PseudoSpectrum:
-        """Angular power spectrum from a spatial covariance matrix."""
+        """Angular power spectrum from a spatial covariance matrix.
+
+        Self-contained single-covariance path (bit-identical to the batched
+        :meth:`pseudospectra_from_covariances`), so subclasses can override
+        either granularity independently.
+        """
         covariance = np.asarray(covariance, dtype=complex)
         expected = (self.array.num_elements, self.array.num_elements)
         if covariance.shape != expected:
             raise ValueError(
                 f"covariance has shape {covariance.shape}, expected {expected}"
             )
-        steering = self.array.steering_matrix(
-            np.radians(self.angle_grid_deg), self.frequency_hz
-        )
+        steering = self.steering()
         # Quadratic form per angle: a^H R a, normalised by M^2 so that a
         # single unit-power plane wave yields a peak value of ~1.
         quad = np.einsum("ik,ij,jk->k", steering.conj(), covariance, steering)
-        values = np.real(quad) / (self.array.num_elements**2)
-        values = np.maximum(values, 0.0)
+        values = np.maximum(np.real(quad) / (self.array.num_elements**2), 0.0)
         return PseudoSpectrum(self.angle_grid_deg.copy(), values)
 
     def pseudospectrum(self, csi: np.ndarray) -> PseudoSpectrum:
@@ -82,6 +117,18 @@ class BartlettEstimator:
             ``(packets, antennas, subcarriers)``.
         """
         return self.pseudospectrum_from_covariance(spatial_covariance(csi))
+
+    def pseudospectra(self, csi_seq) -> list[PseudoSpectrum]:
+        """Angular power spectra of several CSI captures in one evaluation.
+
+        Each capture goes through this estimator's own CSI-to-covariance step
+        (plain :func:`~repro.aoa.covariance.spatial_covariance`), then all
+        spectra share one batched steering-matrix evaluation — bit-identical
+        to calling :meth:`pseudospectrum` per capture.  Captures may have
+        different packet counts.
+        """
+        covariances = np.stack([spatial_covariance(csi) for csi in csi_seq])
+        return self.pseudospectra_from_covariances(covariances)
 
     def estimate_angles(self, csi: np.ndarray, *, max_paths: int = 2) -> list[float]:
         """Arrival angles from the Bartlett spectrum peaks (coarse)."""

@@ -25,6 +25,37 @@ from repro.channel.antenna import UniformLinearArray
 from repro.channel.constants import CHANNEL_11_CENTER_HZ
 
 
+def grid_steering_matrix(estimator) -> np.ndarray:
+    """Identity-keyed steering-matrix cache shared by the spectrum estimators.
+
+    *estimator* is any object with ``array``, ``frequency_hz`` and
+    ``angle_grid_deg`` attributes (:class:`MusicEstimator`,
+    :class:`~repro.aoa.bartlett.BartlettEstimator`).  The ``(M, K)`` matrix is
+    computed once and reused by every spectrum evaluation; any change to the
+    grid (rebinding or in-place mutation), ``frequency_hz`` or ``array``
+    triggers a recompute — the cache compares the grid by value (a snapshot
+    copy), which is far cheaper than rebuilding the steering matrix.
+    """
+    cache = getattr(estimator, "_steering_cache", None)
+    if (
+        cache is None
+        or cache[1] != estimator.frequency_hz
+        or cache[2] != estimator.array
+        or not np.array_equal(cache[0], estimator.angle_grid_deg)
+    ):
+        matrix = estimator.array.steering_matrix(
+            np.radians(estimator.angle_grid_deg), estimator.frequency_hz
+        )
+        cache = (
+            np.array(estimator.angle_grid_deg, copy=True),
+            estimator.frequency_hz,
+            estimator.array,
+            matrix,
+        )
+        estimator._steering_cache = cache
+    return cache[3]
+
+
 @dataclass(frozen=True)
 class PseudoSpectrum:
     """An angular pseudospectrum: power-like values over a grid of angles."""
@@ -125,7 +156,13 @@ class MusicEstimator:
     # subspace machinery
     # ------------------------------------------------------------------ #
     def noise_subspace(self, covariance: np.ndarray) -> np.ndarray:
-        """Noise-subspace basis ``E_n`` of shape ``(M, M - num_sources)``."""
+        """Noise-subspace basis ``E_n`` of shape ``(M, M - num_sources)``.
+
+        The single-covariance path is self-contained (it does not route
+        through :meth:`noise_subspaces`) so subclasses can override either
+        granularity independently; the two are bit-identical for the base
+        implementation (``eigh`` batches per matrix).
+        """
         covariance = np.asarray(covariance, dtype=complex)
         expected = (self.array.num_elements, self.array.num_elements)
         if covariance.shape != expected:
@@ -138,12 +175,51 @@ class MusicEstimator:
         num_noise = self.array.num_elements - self.num_sources
         return eigenvectors[:, :num_noise]
 
+    def noise_subspaces(self, covariances: np.ndarray) -> np.ndarray:
+        """Noise-subspace bases of a covariance stack, ``(N, M, M - num_sources)``."""
+        covariances = np.asarray(covariances, dtype=complex)
+        expected = (self.array.num_elements, self.array.num_elements)
+        if covariances.ndim != 3 or covariances.shape[1:] != expected:
+            raise ValueError(
+                f"covariances must have shape (N, {expected[0]}, {expected[1]}), "
+                f"got {covariances.shape}"
+            )
+        eigenvalues, eigenvectors = np.linalg.eigh(covariances)
+        # eigh returns ascending eigenvalues; the smallest M - d span the
+        # noise subspace.
+        num_noise = self.array.num_elements - self.num_sources
+        return eigenvectors[:, :, :num_noise]
+
+    def steering(self) -> np.ndarray:
+        """The cached steering matrix over the angle grid (see
+        :func:`grid_steering_matrix`)."""
+        return grid_steering_matrix(self)
+
+    def pseudospectra_from_covariances(
+        self, covariances: np.ndarray
+    ) -> list[PseudoSpectrum]:
+        """MUSIC pseudospectra of a batch of covariance matrices.
+
+        The noise-subspace projections of the whole batch go through one
+        batched matmul against the shared steering matrix; values are
+        bit-identical to evaluating each covariance individually.
+        """
+        noise = self.noise_subspaces(covariances)
+        steering = self.steering()
+        projected = np.matmul(noise.conj().transpose(0, 2, 1), steering)
+        denom = np.sum(np.abs(projected) ** 2, axis=1)
+        values = 1.0 / np.maximum(denom, 1e-12)
+        return [PseudoSpectrum(self.angle_grid_deg.copy(), row) for row in values]
+
     def pseudospectrum_from_covariance(self, covariance: np.ndarray) -> PseudoSpectrum:
-        """Evaluate the MUSIC pseudospectrum from a covariance matrix."""
+        """Evaluate the MUSIC pseudospectrum from a covariance matrix.
+
+        Dispatches through :meth:`noise_subspace` so subclasses overriding the
+        subspace hook keep working; bit-identical to the batched
+        :meth:`pseudospectra_from_covariances` for the base implementation.
+        """
         noise = self.noise_subspace(covariance)
-        steering = self.array.steering_matrix(
-            np.radians(self.angle_grid_deg), self.frequency_hz
-        )
+        steering = self.steering()
         projected = noise.conj().T @ steering
         denom = np.sum(np.abs(projected) ** 2, axis=0)
         values = 1.0 / np.maximum(denom, 1e-12)
@@ -163,6 +239,19 @@ class MusicEstimator:
         """
         covariance = spatial_covariance(csi)
         return self.pseudospectrum_from_covariance(covariance)
+
+    def pseudospectra(self, csi_seq) -> list[PseudoSpectrum]:
+        """MUSIC pseudospectra of several CSI captures in one evaluation.
+
+        Each capture goes through this estimator's own CSI-to-covariance step
+        (plain :func:`~repro.aoa.covariance.spatial_covariance`), then the
+        whole batch shares one steering-matrix evaluation — bit-identical to
+        calling :meth:`pseudospectrum` per capture.  An estimator with a
+        different covariance step (e.g. spatial smoothing) must override this
+        method, not just :meth:`pseudospectra_from_covariances`.
+        """
+        covariances = np.stack([spatial_covariance(csi) for csi in csi_seq])
+        return self.pseudospectra_from_covariances(covariances)
 
     def estimate_angles(
         self, csi: np.ndarray, *, max_paths: int | None = None

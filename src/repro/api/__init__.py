@@ -14,6 +14,9 @@ the examples and future services) construct and drive detection:
   :class:`DetectionEvent` objects — the paper's online monitoring loop.
 * :mod:`repro.api.monitor` — a :class:`MultiLinkMonitor` fanning a shared
   packet stream across N links with batched, vectorized window scoring.
+* :mod:`repro.sweep` (re-exported here) — declarative :class:`SweepSpec`
+  parameter sweeps over evaluation campaigns, executed deterministically by
+  :class:`SweepRunner` into a resumable :class:`SweepStore`.
 
 Quickstart::
 
@@ -38,6 +41,29 @@ from repro.api.registry import (
 )
 from repro.api.session import DetectionEvent, StreamingSession
 
+#: Sweep names re-exported lazily: repro.sweep sits above the experiment
+#: runner, which itself imports repro.api.config, so an eager import here
+#: would be circular whenever repro.sweep is imported first.
+_SWEEP_EXPORTS = (
+    "SweepAxis",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepRunResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStore",
+    "run_sweep",
+)
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_EXPORTS:
+        import repro.sweep
+
+        return getattr(repro.sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "DEFAULT_REGISTRY",
     "DetectionEvent",
@@ -45,6 +71,14 @@ __all__ = [
     "MultiLinkMonitor",
     "PipelineConfig",
     "StreamingSession",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepRunResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStore",
     "available_detectors",
     "register_detector",
+    "run_sweep",
 ]

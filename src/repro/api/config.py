@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.utils.validation import check_known_keys, check_probability
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.channel.channel import ChannelSimulator, Link
     from repro.csi.collector import PacketCollector
@@ -133,12 +135,14 @@ class PipelineConfig:
             )
         if self.packet_rate_hz <= 0:
             raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz}")
-        if not 0.0 <= self.loss_probability < 1.0:
-            # The upper bound is exclusive: a collector with certain loss can
-            # never complete a fixed-size capture (see PacketCollector).
-            raise ValueError(
-                f"loss_probability must be in [0, 1), got {self.loss_probability}"
-            )
+        # The upper bound is exclusive: a collector with certain loss can
+        # never complete a fixed-size capture (see PacketCollector).
+        check_probability(
+            "loss_probability",
+            self.loss_probability,
+            exclusive_upper=True,
+            reason="with certain loss a fixed-size capture never completes",
+        )
 
     # ------------------------------------------------------------------ #
     # serialisation
@@ -146,13 +150,9 @@ class PipelineConfig:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
         """Build a config from a plain mapping, rejecting unknown keys."""
-        known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(
-                f"unknown PipelineConfig keys: {sorted(unknown)}; "
-                f"known keys: {sorted(known)}"
-            )
+        check_known_keys(
+            "PipelineConfig", data, (f.name for f in dataclasses.fields(cls))
+        )
         return cls(**dict(data))
 
     def to_dict(self) -> dict[str, Any]:

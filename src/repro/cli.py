@@ -20,6 +20,13 @@ campaign commands, ``PipelineConfig`` keys for ``pipeline``)::
     python -m repro --config campaign.json headline
     python -m repro --config pipeline.json pipeline
 
+Run a parameter sweep from a spec file into a persistent store, check its
+progress, and pivot the stored results::
+
+    python -m repro sweep run --spec sweep.json --store sweep.jsonl --workers 8
+    python -m repro sweep status --spec sweep.json --store sweep.jsonl
+    python -m repro sweep report --store sweep.jsonl --axis window_packets
+
 List every available experiment::
 
     python -m repro list
@@ -103,9 +110,9 @@ def _build_config(args: argparse.Namespace) -> EvaluationConfig:
     file_data = _read_config_file(args.config) if args.config else {}
     config = EvaluationConfig.from_dict(file_data)
     overrides = {
-        key: getattr(args, key)
+        key: getattr(args, key, None)
         for key in _DEFAULTS
-        if getattr(args, key) is not None
+        if getattr(args, key, None) is not None
     }
     if getattr(args, "workers", None) is not None:
         overrides["max_workers"] = args.workers
@@ -116,7 +123,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("campaign figures :", ", ".join(sorted(_CAMPAIGN_FIGURES)))
     print("standalone figures:", ", ".join(sorted(_STANDALONE_FIGURES)))
     print("detectors         :", ", ".join(available_detectors()))
-    print("other commands    : headline, list, pipeline")
+    print("other commands    : headline, list, pipeline, sweep {run,status,report}")
     return 0
 
 
@@ -162,11 +169,11 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
     file_data = _read_config_file(args.config) if args.config else {}
     config = PipelineConfig.from_dict(file_data)
     overrides: dict[str, Any] = {}
-    if args.detector is not None:
+    if getattr(args, "detector", None) is not None:
         overrides["detector"] = args.detector
-    if args.window_packets is not None:
+    if getattr(args, "window_packets", None) is not None:
         overrides["window_packets"] = args.window_packets
-    if args.seed is not None:
+    if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
     elif config.seed is None:
         overrides["seed"] = _DEFAULTS["seed"]
@@ -251,6 +258,106 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# parameter sweeps
+# --------------------------------------------------------------------------- #
+def _load_sweep_spec(path: str):
+    from repro.sweep import SweepSpec
+
+    return SweepSpec.from_file(path)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a parameter sweep from a spec file into a JSONL store."""
+    from repro.sweep import SweepRunner, SweepStore
+
+    try:
+        spec = _load_sweep_spec(args.spec)
+        workers = getattr(args, "workers", None)
+        runner = SweepRunner(
+            spec=spec,
+            store=SweepStore(args.store),
+            max_workers=workers if workers is not None else 1,
+            progress=lambda record: print(
+                f"completed {record.point_id} {record.overrides}", file=sys.stderr
+            ),
+        )
+        prepared = runner.validate(resume=args.resume)
+    except (ValueError, FileNotFoundError) as error:
+        return _config_error(error)
+    # Execution errors (a failing case inside a worker) keep their tracebacks
+    # — only configuration mistakes get the one-line exit-2 treatment.
+    outcome = runner.run(resume=args.resume, prepared=prepared)
+    print(
+        json.dumps(
+            {
+                "sweep": spec.name,
+                "store": str(args.store),
+                "points": spec.num_points,
+                "executed": list(outcome.executed),
+                "skipped": list(outcome.skipped),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Report completed/pending points of a sweep store."""
+    from repro.sweep import SweepStore
+
+    try:
+        # point_ids skips building the per-window record objects.
+        completed = SweepStore(args.store).point_ids()
+        status: dict[str, Any] = {
+            "store": str(args.store),
+            "completed": len(completed),
+            "completed_ids": completed,
+        }
+        if args.spec is not None:
+            spec = _load_sweep_spec(args.spec)
+            done = set(completed)
+            points = spec.expand()
+            status["sweep"] = spec.name
+            status["points"] = spec.num_points
+            status["pending_ids"] = [
+                point.point_id for point in points if point.point_id not in done
+            ]
+            # Records that belong to no point of this spec: the store was
+            # written by a different sweep (sweep run --resume would refuse it).
+            foreign = sorted(done - {point.point_id for point in points})
+            if foreign:
+                status["foreign_ids"] = foreign
+    except (ValueError, FileNotFoundError) as error:
+        return _config_error(error)
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    """Aggregate a sweep store: headline table, or a pivot over one axis."""
+    from repro.sweep import SweepStore, headline_table, operating_points, pivot
+
+    try:
+        records = SweepStore(args.store).records()
+        if not records:
+            raise ValueError(f"sweep store {args.store!r} contains no records")
+        if args.axis is not None:
+            data: Any = pivot(
+                records, args.axis, metric=args.metric, scheme=args.scheme
+            )
+        else:
+            data = {
+                "headline": headline_table(records),
+                "operating_points": operating_points(records, scheme=args.scheme),
+            }
+    except (ValueError, FileNotFoundError) as error:
+        return _config_error(error)
+    print(json.dumps(_to_serializable(data), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -283,17 +390,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="processes sharding the campaign's link cases (default 1; the "
-        "result is bit-identical for any worker count)",
+        help="processes sharding the campaign's link cases, or a sweep's "
+        "(point, case) units (default 1; results are bit-identical for any "
+        "worker count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_postfix_overrides(subparser, names: tuple[str, ...]) -> None:
+        """Accept the global campaign flags after the subcommand too.
+
+        ``repro figure fig9 --seed 7`` should work like
+        ``repro --seed 7 figure fig9``; SUPPRESS keeps an omitted postfix flag
+        from clobbering a value parsed before the subcommand.
+        """
+        for name in names:
+            subparser.add_argument(
+                f"--{name.replace('_', '-')}",
+                type=int,
+                default=argparse.SUPPRESS,
+                help=argparse.SUPPRESS,
+            )
+
+    _CAMPAIGN_FLAGS = ("seed", "windows_per_location", "window_packets", "workers")
+
     sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
-    sub.add_parser("headline", help="run the campaign and print headline numbers").set_defaults(
-        func=_cmd_headline
+    headline = sub.add_parser(
+        "headline", help="run the campaign and print headline numbers"
     )
+    add_postfix_overrides(headline, _CAMPAIGN_FLAGS)
+    headline.set_defaults(func=_cmd_headline)
     figure = sub.add_parser("figure", help="regenerate one figure's data as JSON")
     figure.add_argument("name", help="figure identifier, e.g. fig7 or fig2a")
+    add_postfix_overrides(figure, _CAMPAIGN_FLAGS)
     figure.set_defaults(func=_cmd_figure)
 
     pipeline = sub.add_parser(
@@ -317,7 +445,76 @@ def build_parser() -> argparse.ArgumentParser:
         default=6,
         help="monitoring windows to stream, alternating empty/occupied (default 6)",
     )
+    add_postfix_overrides(pipeline, ("seed", "window_packets"))
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parameter sweeps: run a spec into a persistent store, check "
+        "progress, aggregate results",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run (or resume) a sweep spec into a JSONL store"
+    )
+    sweep_run.add_argument(
+        "--spec", required=True, metavar="PATH", help="sweep spec JSON file"
+    )
+    sweep_run.add_argument(
+        "--store", required=True, metavar="PATH", help="JSONL result store to append to"
+    )
+    sweep_run.add_argument(
+        "--workers",
+        type=int,
+        # SUPPRESS, not None: a plain default would clobber a --workers value
+        # parsed before the subcommand (same argparse behaviour the postfix
+        # override helper works around).
+        default=argparse.SUPPRESS,
+        help="process pool size sharding (point, case) units (default 1; the "
+        "store is byte-identical for any worker count)",
+    )
+    sweep_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already completed in the store (required to reuse a "
+        "non-empty store)",
+    )
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="completed/pending points of a sweep store"
+    )
+    sweep_status.add_argument("--store", required=True, metavar="PATH")
+    sweep_status.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="spec file; when given, pending points are listed too",
+    )
+    sweep_status.set_defaults(func=_cmd_sweep_status)
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="aggregate a sweep store as JSON"
+    )
+    sweep_report.add_argument("--store", required=True, metavar="PATH")
+    sweep_report.add_argument(
+        "--axis",
+        default=None,
+        help="pivot the headline metric over this axis (default: full "
+        "headline + operating-point tables)",
+    )
+    sweep_report.add_argument(
+        "--metric",
+        default="true_positive_rate",
+        help="headline metric to pivot (default true_positive_rate)",
+    )
+    sweep_report.add_argument(
+        "--scheme",
+        default="combined",
+        help="detection scheme to report (default combined)",
+    )
+    sweep_report.set_defaults(func=_cmd_sweep_report)
     return parser
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -34,6 +35,68 @@ from repro.core.subcarrier_weighting import SubcarrierWeighting, SubcarrierWeigh
 from repro.csi.calibration import sanitize_trace
 from repro.csi.trace import CSITrace
 from repro.utils.convert import power_to_db
+
+#: Per-capture hooks the batched ``pseudospectra`` path bypasses; an override
+#: of any of them below the class defining ``pseudospectra`` disables batching.
+_BATCH_BYPASSED_HOOKS = (
+    "pseudospectrum",
+    "pseudospectrum_from_covariance",
+    "noise_subspace",
+)
+
+
+#: Per-class batching verdicts; weak keys so dynamically created estimator
+#: classes (plugins, notebooks, per-test subclasses) are not pinned forever.
+_BATCH_SAFE_VERDICTS: "WeakKeyDictionary[type, bool]" = WeakKeyDictionary()
+
+
+def _batched_spectra_safe_for_class(cls: type) -> bool:
+    """Whether a class's batched ``pseudospectra`` may replace two
+    ``pseudospectrum`` calls (memoized per class: the verdict is a pure
+    function of the class, and the check runs once per scored window
+    otherwise).
+
+    Safe only when ``pseudospectra`` is defined at (or below) every class
+    that defines one of the per-capture hooks it bypasses: a subclass that
+    overrides ``pseudospectrum``, ``pseudospectrum_from_covariance`` or
+    ``noise_subspace`` (e.g. a custom covariance step or diagonal loading)
+    while inheriting the parent's batched method must keep the per-capture
+    path, or its override would be silently bypassed.
+    """
+
+    def defining_class(name: str):
+        for klass in cls.__mro__:
+            if name in vars(klass):
+                return klass
+        return None
+
+    try:
+        return _BATCH_SAFE_VERDICTS[cls]
+    except KeyError:
+        pass
+    spectra_cls = defining_class("pseudospectra")
+    verdict = spectra_cls is not None and defining_class("pseudospectrum") is not None
+    if verdict:
+        for hook in _BATCH_BYPASSED_HOOKS:
+            hook_cls = defining_class(hook)
+            if hook_cls is not None and not issubclass(spectra_cls, hook_cls):
+                verdict = False
+                break
+    _BATCH_SAFE_VERDICTS[cls] = verdict
+    return verdict
+
+
+def _batched_spectra_safe(estimator) -> bool:
+    """Batching verdict for one estimator instance.
+
+    Class verdicts are memoized; an instance-level patch of any bypassed hook
+    (``est.pseudospectrum = custom``) disables batching for that instance so
+    the patch keeps being honoured, as it was by the per-capture call path.
+    """
+    instance_attrs = getattr(estimator, "__dict__", {})
+    if any(hook in instance_attrs for hook in _BATCH_BYPASSED_HOOKS):
+        return False
+    return _batched_spectra_safe_for_class(type(estimator))
 
 
 @dataclass(frozen=True)
@@ -278,8 +341,15 @@ class SubcarrierPathWeightingDetector(_BaseDetector):
         weights = self.weighting.weights_from_trace(window)
         monitored_csi = self._apply_subcarrier_weights(window.csi, weights)
         static_csi = self._apply_subcarrier_weights(self._calibration_trace.csi, weights)
-        monitored = self.spectrum_estimator.pseudospectrum(monitored_csi)
-        static = self.spectrum_estimator.pseudospectrum(static_csi)
+        estimator = self.spectrum_estimator
+        if _batched_spectra_safe(estimator):
+            # Batched protocol: the estimator applies its own CSI-to-
+            # covariance step and shares one steering-matrix evaluation;
+            # bit-identical to two pseudospectrum() calls.
+            monitored, static = estimator.pseudospectra([monitored_csi, static_csi])
+        else:
+            monitored = estimator.pseudospectrum(monitored_csi)
+            static = estimator.pseudospectrum(static_csi)
         return monitored, static
 
     def monitored_spectrum(self, window: CSITrace) -> PseudoSpectrum:

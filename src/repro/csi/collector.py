@@ -70,12 +70,12 @@ class PacketCollector:
     def __post_init__(self) -> None:
         if self.packet_rate_hz <= 0:
             raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz}")
-        check_probability("loss_probability", self.loss_probability)
-        if self.loss_probability >= 1.0:
-            raise ValueError(
-                "loss_probability must be < 1: with certain loss a fixed-size "
-                f"capture never completes, got {self.loss_probability}"
-            )
+        check_probability(
+            "loss_probability",
+            self.loss_probability,
+            exclusive_upper=True,
+            reason="with certain loss a fixed-size capture never completes",
+        )
         if self.rng is not None and not isinstance(self.rng, np.random.Generator):
             raise TypeError(
                 f"rng must be a numpy.random.Generator, got {type(self.rng).__name__}"

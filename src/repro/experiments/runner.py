@@ -35,6 +35,7 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.workloads import BackgroundDynamics, EnvironmentDrift
 from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_known_keys
 
 #: Names of the three evaluation schemes, in the paper's order.
 SCHEMES: tuple[str, ...] = ("baseline", "subcarrier", "combined")
@@ -82,6 +83,38 @@ class EvaluationConfig:
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        # A degenerate campaign (no windows, no grid, an uncalibratable
+        # profile) must fail at configuration time — especially now that
+        # JSON-driven sweeps construct configs far from the code that runs
+        # them — not deep inside scoring with an unrelated error.
+        for name, minimum in (
+            ("window_packets", 1),
+            ("windows_per_location", 1),
+            ("grid_rows", 1),
+            ("grid_cols", 1),
+            ("calibration_packets", 2),
+            ("seed", None),
+        ):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                # A quoted number in a JSON config ("2015") must fail here
+                # with a config error, not as a TypeError mid-campaign.
+                raise ValueError(f"{name} must be an integer, got {value!r}")
+            if minimum is not None and value < minimum:
+                raise ValueError(f"{name} must be >= {minimum}, got {value}")
+        if not isinstance(self.packet_rate_hz, (int, float)) or self.packet_rate_hz <= 0:
+            raise ValueError(f"packet_rate_hz must be > 0, got {self.packet_rate_hz!r}")
+        if isinstance(self.schemes, str):
+            raise ValueError(
+                f"schemes must be a sequence of scheme names, "
+                f"got the string {self.schemes!r}"
+            )
+        if not self.schemes or not all(
+            isinstance(scheme, str) and scheme for scheme in self.schemes
+        ):
+            raise ValueError(
+                f"schemes must be non-empty scheme names, got {self.schemes!r}"
+            )
 
     def impairments(self) -> ImpairmentModel:
         """The per-packet impairment model used by every case."""
@@ -102,15 +135,17 @@ class EvaluationConfig:
         List values for tuple fields (``schemes``) are coerced, so configs can
         round-trip through JSON.
         """
-        known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(
-                f"unknown EvaluationConfig keys: {sorted(unknown)}; "
-                f"known keys: {sorted(known)}"
-            )
+        check_known_keys(
+            "EvaluationConfig", data, (f.name for f in dataclasses.fields(cls))
+        )
         values = dict(data)
         if "schemes" in values and not isinstance(values["schemes"], tuple):
+            if isinstance(values["schemes"], str):
+                # tuple("baseline") would silently become a character tuple.
+                raise ValueError(
+                    f"schemes must be a list of scheme names, "
+                    f"got the string {values['schemes']!r}"
+                )
             values["schemes"] = tuple(values["schemes"])
         return cls(**values)
 
@@ -154,6 +189,31 @@ class ScoredWindow:
     location_index: int | None = None
     window_packets: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """The window as a plain JSON-serialisable dict (``from_dict`` inverse)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScoredWindow":
+        """Rebuild a window from :meth:`to_dict` output.
+
+        Unknown and missing keys raise the same one-line ``ValueError`` style
+        as the config classes.
+        """
+        fields = dataclasses.fields(cls)
+        check_known_keys(
+            "ScoredWindow",
+            data,
+            (f.name for f in fields),
+            required=(
+                f.name
+                for f in fields
+                if f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING
+            ),
+        )
+        return cls(**dict(data))
+
 
 @dataclass
 class EvaluationResult:
@@ -161,6 +221,34 @@ class EvaluationResult:
 
     windows: list[ScoredWindow]
     config: EvaluationConfig
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """The result as a plain JSON-serialisable dict (``from_dict`` inverse).
+
+        Scores are plain Python floats, so a JSON round-trip reproduces the
+        result exactly (``json`` preserves doubles bit-for-bit).
+        """
+        return {
+            "config": self.config.to_dict(),
+            "windows": [window.to_dict() for window in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        check_known_keys(
+            "EvaluationResult",
+            data,
+            ("config", "windows"),
+            required=("config", "windows"),
+        )
+        return cls(
+            windows=[ScoredWindow.from_dict(w) for w in data["windows"]],
+            config=EvaluationConfig.from_dict(data["config"]),
+        )
 
     # ------------------------------------------------------------------ #
     # score selection
@@ -415,6 +503,17 @@ def run_case(
 # --------------------------------------------------------------------------- #
 # full campaign
 # --------------------------------------------------------------------------- #
+def derive_case_seed(config: EvaluationConfig, case_index: int) -> int:
+    """The deterministic per-case seed of a campaign.
+
+    Single source of the derivation: :func:`run_evaluation` and the sweep
+    runner (:mod:`repro.sweep.runner`) both shard cases with exactly this
+    seed, which is what makes a sweep point bit-identical to a standalone
+    campaign of the same config.
+    """
+    return config.seed + 1000 * case_index
+
+
 def run_evaluation(
     config: EvaluationConfig | None = None,
     *,
@@ -466,7 +565,7 @@ def run_evaluation(
     workers = min(workers, len(case_list))
     if parallel is None:
         parallel = workers > 1
-    seeds = [config.seed + 1000 * index for index in range(len(case_list))]
+    seeds = [derive_case_seed(config, index) for index in range(len(case_list))]
 
     per_case: list[list[ScoredWindow]]
     if not parallel:

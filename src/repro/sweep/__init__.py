@@ -1,0 +1,62 @@
+"""repro.sweep — deterministic parameter-sweep orchestration.
+
+The evaluation of the paper is a *grid* of campaigns (seeds x configs x
+knobs); this subsystem runs that grid as one deterministic, resumable,
+hardware-saturating job:
+
+* :mod:`repro.sweep.spec` — declarative :class:`SweepSpec` (named
+  :class:`SweepAxis` entries over ``EvaluationConfig`` fields, dict/JSON
+  round-trip) expanded into stable :class:`SweepPoint` objects.
+* :mod:`repro.sweep.runner` — :class:`SweepRunner` shards ``point x case``
+  work units over one process pool with in-order merge, so results are
+  bit-identical for any worker count and each point matches a standalone
+  ``run_evaluation`` of its config.
+* :mod:`repro.sweep.store` — :class:`SweepStore`, an append-only JSONL store
+  (one :class:`SweepRecord` per completed point) that makes sweeps resumable
+  and queryable after the fact.
+* :mod:`repro.sweep.analysis` — pivots of headline numbers and ROC operating
+  points across any axis.
+
+Quickstart::
+
+    from repro.sweep import SweepAxis, SweepSpec, run_sweep
+    from repro.sweep.analysis import pivot
+
+    spec = SweepSpec(
+        name="window-size",
+        axes=(
+            SweepAxis("seed", (2015, 2016, 2017)),
+            SweepAxis("window_packets", (10, 25, 50)),
+        ),
+    )
+    outcome = run_sweep(spec, "sweep.jsonl", max_workers=8)
+    print(pivot(outcome.records, "window_packets", metric="true_positive_rate"))
+"""
+
+from repro.sweep.analysis import (
+    HEADLINE_METRICS,
+    best_point,
+    headline_table,
+    operating_points,
+    pivot,
+)
+from repro.sweep.runner import SweepRunner, SweepRunResult, run_sweep
+from repro.sweep.spec import SWEEPABLE_FIELDS, SweepAxis, SweepPoint, SweepSpec
+from repro.sweep.store import SweepRecord, SweepStore
+
+__all__ = [
+    "HEADLINE_METRICS",
+    "SWEEPABLE_FIELDS",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepRunResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStore",
+    "best_point",
+    "headline_table",
+    "operating_points",
+    "pivot",
+    "run_sweep",
+]

@@ -1,0 +1,166 @@
+"""Cross-config aggregation over sweep records.
+
+Once a sweep store holds one :class:`~repro.sweep.store.SweepRecord` per
+point, the evaluation questions of Section V become pivots: "how does the
+balanced TPR move with the monitoring window size?" is a pivot of the
+headline metric over the ``window_packets`` axis, averaging the ``seed``
+replication axis away; "where does each scheme operate?" is the table of
+balanced ROC operating points per point.  Everything here works on plain
+record lists, so it applies equally to a just-finished
+:class:`~repro.sweep.runner.SweepRunResult` and to a store re-loaded from
+disk long after the sweep ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.sweep.spec import canonical_json
+from repro.sweep.store import SweepRecord
+
+#: Headline metrics available to :func:`pivot` (per scheme, per point).
+HEADLINE_METRICS: tuple[str, ...] = (
+    "threshold",
+    "true_positive_rate",
+    "false_positive_rate",
+    "auc",
+)
+
+
+def _axis_key(value: Any) -> str:
+    """A stable string key for one axis value (JSON for compound values)."""
+    if isinstance(value, str):
+        return value
+    return canonical_json(value)
+
+
+def _headline_entry(record: SweepRecord, scheme: str) -> dict[str, float]:
+    headline = record.result.headline()
+    if scheme not in headline:
+        raise ValueError(
+            f"scheme {scheme!r} not in record {record.point_id!r}; "
+            f"available schemes: {sorted(headline)}"
+        )
+    return headline[scheme]
+
+
+def headline_table(records: Sequence[SweepRecord]) -> list[dict[str, Any]]:
+    """One row per (point, scheme): overrides plus the headline numbers.
+
+    The flat table is the raw material for any external analysis tool; rows
+    keep point order, schemes keep the config's scheme order.
+    """
+    rows: list[dict[str, Any]] = []
+    for record in records:
+        for scheme, numbers in record.result.headline().items():
+            rows.append(
+                {
+                    "point_id": record.point_id,
+                    "scheme": scheme,
+                    **dict(record.overrides),
+                    **numbers,
+                }
+            )
+    return rows
+
+
+def pivot(
+    records: Sequence[SweepRecord],
+    axis: str,
+    *,
+    metric: str = "true_positive_rate",
+    scheme: str = "combined",
+) -> dict[str, dict[str, Any]]:
+    """Pivot one headline metric across an axis, averaging the other axes.
+
+    Parameters
+    ----------
+    records:
+        Completed sweep records (a loaded store, or a run result).
+    axis:
+        Axis field to group by; must be an override of every record.
+    metric:
+        One of :data:`HEADLINE_METRICS`.
+    scheme:
+        Detection scheme whose headline numbers are pivoted.
+
+    Returns
+    -------
+    dict
+        Axis value (as a stable string key) -> ``{"value", "mean", "n",
+        "points"}``, in first-appearance (expansion) order.  ``points`` maps
+        each contributing point id to its own metric value, so the spread
+        behind every mean stays visible.
+    """
+    if metric not in HEADLINE_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; available metrics: {list(HEADLINE_METRICS)}"
+        )
+    if not records:
+        raise ValueError("pivot requires at least one record")
+    groups: dict[str, dict[str, Any]] = {}
+    for record in records:
+        if axis not in record.overrides:
+            raise ValueError(
+                f"axis {axis!r} is not an override of point {record.point_id!r}; "
+                f"axes: {sorted(record.overrides)}"
+            )
+        value = record.overrides[axis]
+        key = _axis_key(value)
+        entry = groups.setdefault(
+            key, {"value": value, "mean": 0.0, "n": 0, "points": {}}
+        )
+        entry["points"][record.point_id] = _headline_entry(record, scheme)[metric]
+    for entry in groups.values():
+        values = list(entry["points"].values())
+        entry["n"] = len(values)
+        entry["mean"] = sum(values) / len(values)
+    return groups
+
+
+def operating_points(
+    records: Sequence[SweepRecord], *, scheme: str = "combined"
+) -> list[dict[str, Any]]:
+    """Balanced ROC operating point of one scheme for every sweep point.
+
+    Each row carries the point's overrides, so downstream plots can slice the
+    (FPR, TPR) cloud along any axis.
+    """
+    rows: list[dict[str, Any]] = []
+    for record in records:
+        numbers = _headline_entry(record, scheme)
+        rows.append(
+            {
+                "point_id": record.point_id,
+                "overrides": dict(record.overrides),
+                **numbers,
+            }
+        )
+    return rows
+
+
+def best_point(
+    records: Sequence[SweepRecord],
+    *,
+    metric: str = "auc",
+    scheme: str = "combined",
+    maximize: bool = True,
+) -> dict[str, Any]:
+    """The sweep point optimising one headline metric for one scheme."""
+    if metric not in HEADLINE_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; available metrics: {list(HEADLINE_METRICS)}"
+        )
+    if not records:
+        raise ValueError("best_point requires at least one record")
+    scored = [
+        (record, _headline_entry(record, scheme)[metric]) for record in records
+    ]
+    record, value = (max if maximize else min)(scored, key=lambda item: item[1])
+    return {
+        "point_id": record.point_id,
+        "overrides": dict(record.overrides),
+        "metric": metric,
+        "scheme": scheme,
+        "value": value,
+    }

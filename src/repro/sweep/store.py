@@ -1,0 +1,205 @@
+"""Persistent sweep result store: one JSONL record per completed point.
+
+The store is the durability layer of the sweep subsystem: every completed
+:class:`SweepRecord` is appended as one canonical JSON line, so
+
+* a sweep can be interrupted (Ctrl-C, OOM-kill, pre-empted CI runner) and
+  resumed — completed points are skipped, a torn trailing line from a
+  mid-write kill is detected and dropped;
+* two runs of the same spec produce byte-identical files regardless of
+  worker count (records are written in point order with canonical JSON);
+* cross-config analysis (:mod:`repro.sweep.analysis`) can re-load full
+  :class:`~repro.experiments.runner.EvaluationResult` objects — scores are
+  stored as JSON doubles, which round-trip floats exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.experiments.runner import EvaluationConfig, EvaluationResult
+from repro.sweep.spec import SweepPoint, canonical_json
+from repro.utils.validation import check_known_keys
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """The stored outcome of one completed sweep point."""
+
+    point_id: str
+    index: int
+    overrides: dict[str, Any]
+    result: EvaluationResult
+
+    @property
+    def config(self) -> EvaluationConfig:
+        """The campaign configuration that produced the record."""
+        return self.result.config
+
+    @classmethod
+    def from_point(cls, point: SweepPoint, result: EvaluationResult) -> "SweepRecord":
+        """Pair a sweep point with the result of running its campaign."""
+        return cls(
+            point_id=point.point_id,
+            index=point.index,
+            overrides=dict(point.overrides),
+            result=result,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRecord":
+        """Rebuild a record from :meth:`to_dict` output, rejecting unknown keys."""
+        known = ("point_id", "index", "overrides", "result")
+        check_known_keys("SweepRecord", data, known, required=known)
+        return cls(
+            point_id=data["point_id"],
+            index=int(data["index"]),
+            overrides=dict(data["overrides"]),
+            result=EvaluationResult.from_dict(data["result"]),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The record as a plain JSON-serialisable dict (``from_dict`` inverse)."""
+        return {
+            "point_id": self.point_id,
+            "index": self.index,
+            "overrides": dict(self.overrides),
+            "result": self.result.to_dict(),
+        }
+
+    def to_line(self) -> str:
+        """The record as its canonical store line (no trailing newline)."""
+        return canonical_json(self.to_dict())
+
+
+class SweepStore:
+    """Append-only JSONL store of completed sweep points.
+
+    Parameters
+    ----------
+    path:
+        Store file location; created (with parents) on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        # Parse cache keyed on (mtime_ns, size): repeated queries (len,
+        # point_ids, records) re-read the file only when it changed.  Only
+        # payloads and the valid-prefix length are kept, not the raw bytes.
+        self._cache: tuple[tuple[int, int], list[dict[str, Any]], int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append(self, record: SweepRecord) -> None:
+        """Append one completed point, flushed so a kill loses at most one line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_line() + "\n")
+            handle.flush()
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def _parse(self) -> tuple[list[dict[str, Any]], int, int]:
+        """Raw record dicts, the valid-prefix byte length and the file size.
+
+        A malformed *final* line is treated as a torn write from an
+        interrupted run and excluded from the valid prefix; a malformed line
+        anywhere else is corruption and raises.  Validation beyond JSON shape
+        happens lazily in :meth:`records`, and the parse is cached per
+        (mtime, size) so repeated queries do not re-read an unchanged file;
+        the raw bytes themselves are not retained.
+        """
+        if not self.path.exists():
+            return [], 0, 0
+        stat = self.path.stat()
+        key = (stat.st_mtime_ns, stat.st_size)
+        if self._cache is not None and self._cache[0] == key:
+            return self._cache[1], self._cache[2], key[1]
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        payloads: list[dict[str, Any]] = []
+        valid = 0
+        offset = 0
+        for i, line in enumerate(lines):
+            stripped = line.strip()
+            if stripped:
+                torn = i == last_content and not raw.endswith(b"\n")
+                try:
+                    payload = json.loads(stripped)
+                    if not isinstance(payload, dict) or "point_id" not in payload:
+                        raise ValueError("not a sweep record object")
+                except (ValueError, KeyError, TypeError) as error:
+                    if torn:
+                        break  # torn trailing line from an interrupted run
+                    raise ValueError(
+                        f"corrupt sweep store {self.path}: "
+                        f"unreadable record at byte {offset}: {error}"
+                    ) from error
+                payloads.append(payload)
+                valid = min(offset + len(line) + 1, len(raw))
+            offset += len(line) + 1
+        self._cache = (key, payloads, valid)
+        return payloads, valid, len(raw)
+
+    def _build(self, payloads: list[dict[str, Any]]) -> list[SweepRecord]:
+        try:
+            return [SweepRecord.from_dict(payload) for payload in payloads]
+        except (ValueError, KeyError, TypeError) as error:
+            raise ValueError(f"corrupt sweep store {self.path}: {error}") from error
+
+    def records(self) -> list[SweepRecord]:
+        """All complete records, in file order (a torn final line is ignored)."""
+        payloads, _, _ = self._parse()
+        return self._build(payloads)
+
+    def recover(self) -> list[SweepRecord]:
+        """Like :meth:`records`, but also repairs a torn trailing write.
+
+        Called by the runner on ``--resume``: an unreadable partial line is
+        truncated away, and a final record whose trailing newline was lost by
+        a mid-write kill gets its newline restored — so re-appended records
+        never glue onto a previous line.
+        """
+        payloads, valid, size = self._parse()
+        if size:
+            if valid < size:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(valid)
+            else:
+                with self.path.open("r+b") as handle:
+                    handle.seek(-1, 2)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+        return self._build(payloads)
+
+    def point_ids(self) -> list[str]:
+        """Point ids of all complete records, in file order.
+
+        Reads the cached JSON parse without constructing record objects (the
+        per-window dataclasses are the expensive part), so status-style
+        queries stay cheap and repeated calls don't re-read the file.
+        """
+        payloads, _, _ = self._parse()
+        return [payload["point_id"] for payload in payloads]
+
+    def completed_ids(self) -> set[str]:
+        """Point ids that already have a complete record."""
+        return set(self.point_ids())
+
+    def __len__(self) -> int:
+        payloads, _, _ = self._parse()
+        return len(payloads)
+
+    def __iter__(self) -> Iterator[SweepRecord]:
+        return iter(self.records())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepStore({str(self.path)!r})"

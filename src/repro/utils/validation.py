@@ -7,9 +7,35 @@ single readable line.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
+
+
+def check_known_keys(
+    name: str,
+    data: Mapping[str, Any],
+    known: Iterable[str],
+    *,
+    required: Iterable[str] = (),
+) -> None:
+    """Ensure a ``from_dict`` payload has no unknown and no missing keys.
+
+    All the dict/JSON-buildable dataclasses share this one-line error style,
+    so a typo in any config or record file reads the same everywhere.
+    """
+    known = set(known)
+    required = set(required)
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {name} keys: {sorted(unknown)}; known keys: {sorted(known)}"
+        )
+    missing = required - set(data)
+    if missing:
+        raise ValueError(
+            f"missing {name} keys: {sorted(missing)}; required keys: {sorted(required)}"
+        )
 
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:
@@ -22,11 +48,20 @@ def check_positive(name: str, value: float, *, strict: bool = True) -> float:
     return value
 
 
-def check_probability(name: str, value: float) -> float:
-    """Ensure a scalar lies in ``[0, 1]``."""
+def check_probability(
+    name: str, value: float, *, exclusive_upper: bool = False, reason: str = ""
+) -> float:
+    """Ensure a scalar lies in ``[0, 1]`` (or ``[0, 1)`` with *exclusive_upper*).
+
+    *reason* is appended to the error for invariants whose bound needs a
+    domain explanation (e.g. why a loss probability of 1 can never work).
+    """
     value = float(value)
-    if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    upper_ok = value < 1.0 if exclusive_upper else value <= 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1)" if exclusive_upper else "[0, 1]"
+        suffix = f": {reason}" if reason else ""
+        raise ValueError(f"{name} must be within {bound}{suffix}, got {value}")
     return value
 
 

@@ -211,3 +211,116 @@ class TestAngleErrors:
         averaged = [2.0, 4.0, 6.0]
         assert median_angle_error_deg(single, 0.0) == 20.0
         assert paired_error_gain(single, averaged) == pytest.approx(16.0)
+
+
+class TestBatchedSpectraBitIdentity:
+    """The grid-vectorised spectra must match per-angle / per-covariance loops bit-for-bit."""
+
+    def _covariances(self, array, n=3):
+        return np.stack(
+            [
+                spatial_covariance(
+                    synthetic_snapshots([-20.0 + 15.0 * k, 30.0], array=array, seed=k)
+                )
+                for k in range(n)
+            ]
+        )
+
+    def test_bartlett_matches_per_angle_loop(self, array):
+        est = BartlettEstimator(array=array)
+        cov = self._covariances(array, n=1)[0]
+        vectorised = est.pseudospectrum_from_covariance(cov)
+        steering = est.steering()
+        per_angle = np.empty(est.angle_grid_deg.size)
+        for k in range(est.angle_grid_deg.size):
+            quad = np.einsum(
+                "i,ij,j->", steering[:, k].conj(), cov, steering[:, k]
+            )
+            per_angle[k] = max(np.real(quad) / array.num_elements**2, 0.0)
+        assert np.array_equal(vectorised.values, per_angle)
+        # And against a fully naive triple loop, up to float associativity.
+        naive = np.zeros(est.angle_grid_deg.size, dtype=complex)
+        for k in range(est.angle_grid_deg.size):
+            for i in range(array.num_elements):
+                for j in range(array.num_elements):
+                    naive[k] += steering[i, k].conj() * cov[i, j] * steering[j, k]
+        naive_values = np.maximum(np.real(naive) / array.num_elements**2, 0.0)
+        np.testing.assert_allclose(vectorised.values, naive_values, rtol=1e-12)
+
+    def test_bartlett_batch_matches_individual(self, array):
+        est = BartlettEstimator(array=array)
+        covs = self._covariances(array)
+        batched = est.pseudospectra_from_covariances(covs)
+        for cov, spectrum in zip(covs, batched):
+            single = est.pseudospectrum_from_covariance(cov)
+            assert np.array_equal(spectrum.values, single.values)
+            assert np.array_equal(spectrum.angles_deg, single.angles_deg)
+
+    def test_music_matches_per_angle_loop(self, array):
+        est = MusicEstimator(array=array)
+        cov = self._covariances(array, n=1)[0]
+        vectorised = est.pseudospectrum_from_covariance(cov)
+        noise = est.noise_subspace(cov)
+        steering = est.steering()
+        per_angle = np.empty(est.angle_grid_deg.size)
+        for k in range(est.angle_grid_deg.size):
+            projected = noise.conj().T @ steering[:, k]
+            per_angle[k] = 1.0 / max(np.sum(np.abs(projected) ** 2), 1e-12)
+        np.testing.assert_allclose(vectorised.values, per_angle, rtol=1e-12)
+
+    def test_music_batch_matches_individual(self, array):
+        est = MusicEstimator(array=array)
+        covs = self._covariances(array)
+        batched = est.pseudospectra_from_covariances(covs)
+        for cov, spectrum in zip(covs, batched):
+            single = est.pseudospectrum_from_covariance(cov)
+            assert np.array_equal(spectrum.values, single.values)
+
+    def test_batch_shape_validation(self, array):
+        with pytest.raises(ValueError):
+            BartlettEstimator(array=array).pseudospectra_from_covariances(np.eye(3))
+        with pytest.raises(ValueError):
+            MusicEstimator(array=array).pseudospectra_from_covariances(
+                np.zeros((2, 2, 2), dtype=complex)
+            )
+
+    def test_steering_matrix_cached_until_grid_rebound(self, array):
+        est = BartlettEstimator(array=array)
+        first = est.steering()
+        assert est.steering() is first
+        est.angle_grid_deg = np.linspace(-45.0, 45.0, 91)
+        second = est.steering()
+        assert second is not first
+        assert second.shape == (3, 91)
+
+    def test_steering_cache_tracks_frequency_and_array(self, array):
+        est = BartlettEstimator(array=array)
+        first = est.steering()
+        est.frequency_hz = est.frequency_hz * 2
+        second = est.steering()
+        assert second is not first
+        assert not np.array_equal(second, first)
+        est.array = UniformLinearArray(num_elements=4)
+        third = est.steering()
+        assert third.shape[0] == 4
+
+    def test_steering_cache_tracks_in_place_grid_mutation(self, array):
+        est = MusicEstimator(array=array)
+        first = est.steering().copy()
+        est.angle_grid_deg[:] = np.linspace(-45.0, 45.0, est.angle_grid_deg.size)
+        second = est.steering()
+        assert not np.array_equal(second, first)  # stale matrix not served
+        reference = array.steering_matrix(
+            np.radians(est.angle_grid_deg), est.frequency_hz
+        )
+        assert np.array_equal(second, reference)
+
+    def test_pseudospectra_protocol_matches_per_capture_calls(self, array):
+        for est in (BartlettEstimator(array=array), MusicEstimator(array=array)):
+            captures = [
+                synthetic_snapshots([-10.0], array=array, seed=1),
+                synthetic_snapshots([25.0], array=array, seed=2, num_snapshots=120),
+            ]
+            batched = est.pseudospectra(captures)
+            for csi, spectrum in zip(captures, batched):
+                assert np.array_equal(spectrum.values, est.pseudospectrum(csi).values)

@@ -152,7 +152,7 @@ class TestPacketCollector:
     def test_certain_loss_rejected_at_construction(self, simulator):
         # Regression: loss_probability=1.0 used to spin forever inside
         # collect(); it is now rejected before any capture can start.
-        with pytest.raises(ValueError, match="loss_probability must be < 1"):
+        with pytest.raises(ValueError, match=r"loss_probability must be within \[0, 1\)"):
             PacketCollector(simulator, loss_probability=1.0)
 
     def test_pathological_loss_stream_aborts_with_clear_error(self, simulator):

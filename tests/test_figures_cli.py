@@ -130,3 +130,25 @@ class TestCli:
         assert main(["--seed", "1", "figure", "fig10"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "median_single_deg" in payload
+
+
+class TestPostfixFlags:
+    """Global campaign flags are accepted after the subcommand too."""
+
+    def test_figure_seed_after_subcommand(self, capsys):
+        assert main(["figure", "fig10", "--seed", "1"]) == 0
+        postfix = capsys.readouterr().out
+        assert main(["--seed", "1", "figure", "fig10"]) == 0
+        prefix = capsys.readouterr().out
+        assert postfix == prefix  # same seeded figure either way
+
+    def test_postfix_does_not_clobber_prefix_value(self):
+        from repro.cli import _build_config, build_parser
+
+        args = build_parser().parse_args(["--seed", "9", "headline"])
+        assert _build_config(args).seed == 9
+        args = build_parser().parse_args(["headline", "--seed", "9"])
+        assert _build_config(args).seed == 9
+        args = build_parser().parse_args(["--seed", "9", "headline", "--workers", "2"])
+        config = _build_config(args)
+        assert config.seed == 9 and config.max_workers == 2

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.experiments.metrics import (
@@ -77,3 +78,67 @@ class TestRangeGain:
     def test_unparseable_label_rejected(self):
         with pytest.raises(ValueError):
             range_gain({"near": 1.0}, {"near": 1.0})
+
+
+class TestGroupingEdgeCases:
+    def test_empty_groups_rejected(self):
+        # Both sequences empty: there is nothing to rate, not a silent {}.
+        with pytest.raises(ValueError, match="at least one score"):
+            rates_by_group([], [], threshold=0.5)
+
+    def test_single_group_keeps_all_scores(self):
+        rates = rates_by_group([0.1, 0.9, 0.8], ["only"] * 3, threshold=0.5)
+        assert rates == {"only": pytest.approx(2 / 3)}
+
+    def test_groups_sorted_by_string_key(self):
+        rates = rates_by_group([1.0, 1.0, 1.0], [10, 2, "b"], threshold=0.5)
+        assert [str(k) for k in rates] == ["10", "2", "b"]
+
+
+class TestBinLabelEdgeValues:
+    def test_value_on_interior_edge_joins_upper_bin(self):
+        # 1.0 sits exactly on the 0-1 / 1-2 boundary: bins are [lo, hi).
+        assert bin_labels([1.0], edges=[0, 1, 2]) == ["1-2"]
+
+    def test_value_on_first_edge_joins_first_bin(self):
+        assert bin_labels([0.0], edges=[0, 1, 2]) == ["0-1"]
+
+    def test_value_on_last_edge_joins_last_bin(self):
+        assert bin_labels([2.0], edges=[0, 1, 2]) == ["1-2"]
+
+    def test_values_outside_edges_clamp_to_end_bins(self):
+        assert bin_labels([-5.0, 99.0], edges=[0, 1, 2]) == ["0-1", "1-2"]
+
+    def test_all_edge_values_at_once(self):
+        labels = bin_labels([0.0, 1.0, 2.0, 4.0], edges=[0.0, 1.0, 2.0, 4.0])
+        assert labels == ["0-1", "1-2", "2-4", "2-4"]
+
+
+class TestRocSingleClassScores:
+    def test_constant_scores_produce_a_valid_curve(self):
+        from repro.core.thresholds import roc_curve
+
+        curve = roc_curve([1.0, 1.0, 1.0], [1.0, 1.0])
+        assert curve.thresholds.size == 200
+        assert np.all((curve.true_positive_rates >= 0) & (curve.true_positive_rates <= 1))
+        # Indistinguishable classes: TPR == FPR at every threshold (chance).
+        assert np.array_equal(curve.true_positive_rates, curve.false_positive_rates)
+        assert curve.auc() == pytest.approx(0.5)
+        threshold, tpr, fpr = curve.balanced_point()
+        assert tpr - fpr == pytest.approx(0.0)
+
+    def test_single_score_per_class(self):
+        from repro.core.thresholds import roc_curve
+
+        curve = roc_curve([2.0], [1.0])
+        assert curve.auc() == pytest.approx(1.0)
+        _, tpr, fpr = curve.balanced_point()
+        assert (tpr, fpr) == (1.0, 0.0)
+
+    def test_empty_class_rejected(self):
+        from repro.core.thresholds import roc_curve
+
+        with pytest.raises(ValueError, match="positive and negative"):
+            roc_curve([], [1.0])
+        with pytest.raises(ValueError, match="positive and negative"):
+            roc_curve([1.0], [])

@@ -136,3 +136,33 @@ class TestEvaluationResult:
     def test_run_evaluation_requires_cases(self, small_config):
         with pytest.raises(ValueError):
             run_evaluation(small_config, cases=[])
+
+
+class TestEvaluationConfigDict:
+    """EvaluationConfig.from_dict rejects typos in the PipelineConfig style."""
+
+    def test_unknown_keys_rejected_with_one_line_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            EvaluationConfig.from_dict({"window_packets": 25, "windw_packets": 10})
+        message = str(excinfo.value)
+        assert message.startswith("unknown EvaluationConfig keys: ['windw_packets']")
+        assert "known keys:" in message
+        assert "\n" not in message  # one line, like PipelineConfig
+
+    def test_multiple_unknown_keys_listed_sorted(self):
+        with pytest.raises(ValueError, match=r"\['a_typo', 'z_typo'\]"):
+            EvaluationConfig.from_dict({"z_typo": 1, "a_typo": 2})
+
+    def test_round_trip_with_scheme_list_coercion(self):
+        config = EvaluationConfig(schemes=("baseline",), seed=3)
+        data = config.to_dict()
+        assert data["schemes"] == ["baseline"]  # JSON-friendly list
+        assert EvaluationConfig.from_dict(data) == config
+
+    def test_cli_config_file_with_unknown_key_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "campaign.json"
+        path.write_text('{"window_packets": 8, "windw_packets": 10}')
+        assert main(["--config", str(path), "headline"]) == 2
+        assert "unknown EvaluationConfig keys" in capsys.readouterr().err
