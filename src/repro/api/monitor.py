@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.detector import BaselineDetector
-from repro.csi.calibration import sanitize_trace
+from repro.csi.calibration import sanitize_csi_array, sanitize_trace
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
@@ -203,14 +203,38 @@ def _batch_baseline_scores(
     ``(links, antennas, subcarriers)`` array, and the Euclidean distance and
     antenna average reduce along the trailing axes — elementwise identical to
     the per-link computation, so the scores are bit-identical.
+
+    Windows requiring phase sanitisation are concatenated along the packet
+    axis and cleaned by a single batched
+    :func:`~repro.csi.calibration.sanitize_csi_array` call (the per-frame
+    fits are independent, so stacking windows changes nothing bit-wise).
     """
-    means = []
-    profiles = []
-    for _, session, window in batch:
-        detector = session.detector
-        prepared = sanitize_trace(window) if detector.sanitize else window
-        means.append(prepared.mean_amplitude())
-        profiles.append(detector._profile_amplitude)
+    batch = list(batch)
+    windows = [window for _, _, window in batch]
+    sanitized_positions = [
+        i for i, (_, session, _) in enumerate(batch) if session.detector.sanitize
+    ]
+    means: list[np.ndarray | None] = [None] * len(batch)
+    # Tuple-ify before hashing: trace/frame validation also accepts list or
+    # ndarray subcarrier grids, which are unhashable as-is.
+    grids = {tuple(windows[i].subcarrier_indices) for i in sanitized_positions}
+    if sanitized_positions and len(grids) == 1:
+        stacked = np.concatenate(
+            [windows[i].csi for i in sanitized_positions], axis=0
+        )
+        cleaned = sanitize_csi_array(
+            stacked, np.asarray(next(iter(grids)), dtype=float)
+        )
+        packets = windows[sanitized_positions[0]].num_packets
+        for n, i in enumerate(sanitized_positions):
+            means[i] = np.abs(cleaned[n * packets : (n + 1) * packets]).mean(axis=0)
+    else:  # mixed subcarrier grids: sanitise per window
+        for i in sanitized_positions:
+            means[i] = sanitize_trace(windows[i]).mean_amplitude()
+    for i, window in enumerate(windows):
+        if means[i] is None:
+            means[i] = window.mean_amplitude()
+    profiles = [session.detector._profile_amplitude for _, session, _ in batch]
     stacked_means = np.stack(means)
     stacked_profiles = np.stack(profiles)
     distances = np.linalg.norm(stacked_means - stacked_profiles, axis=2)

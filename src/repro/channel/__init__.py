@@ -31,6 +31,7 @@ from repro.channel.noise import ImpairmentModel
 from repro.channel.ofdm import synthesize_cfr
 from repro.channel.propagation import PropagationModel
 from repro.channel.rays import Path, RayTracer
+from repro.channel.scene import PathBundle
 
 __all__ = [
     "UniformLinearArray",
@@ -52,5 +53,6 @@ __all__ = [
     "synthesize_cfr",
     "PropagationModel",
     "Path",
+    "PathBundle",
     "RayTracer",
 ]

@@ -88,6 +88,18 @@ class UniformLinearArray:
     # ------------------------------------------------------------------ #
     # steering
     # ------------------------------------------------------------------ #
+    def unit_phase_shift_factors(self) -> np.ndarray:
+        """Per-element phase factors at unit frequency and unit ``sin(aoa)``.
+
+        Satisfies ``phase_shifts(aoa, 1.0) == unit_phase_shift_factors() *
+        math.sin(aoa)`` bit-exactly (the expression below repeats the
+        ``phase_shifts`` evaluation order with ``frequency = 1.0``, and
+        ``x * 1.0 == x`` in IEEE-754), which lets the batched CFR synthesis
+        steer many angles with one outer product.
+        """
+        m = np.arange(self.num_elements, dtype=float)
+        return 2.0 * np.pi * 1.0 / SPEED_OF_LIGHT * m * self.spacing
+
     def phase_shifts(self, aoa_rad: float, frequency: float) -> np.ndarray:
         """Per-element phase shift (radians) for a plane wave from *aoa_rad*.
 

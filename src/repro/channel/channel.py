@@ -23,13 +23,20 @@ from repro.channel.constants import (
     INTEL5300_SUBCARRIER_INDICES,
     subcarrier_frequencies,
 )
-from repro.channel.geometry import Point, Room
-from repro.channel.human import HumanBody
+from repro.channel.geometry import (
+    Point,
+    Room,
+    paired_segment_point_distances,
+    points_as_array,
+    signed_angles_to_reference,
+)
+from repro.channel.human import HumanBody, attenuation_profile
 from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary
 from repro.channel.noise import ImpairmentModel
-from repro.channel.ofdm import synthesize_cfr
 from repro.channel.propagation import PropagationModel
 from repro.channel.rays import Path, RayTracer, assign_angles_of_arrival
+from repro.channel.scene import PathBundle
+from repro.utils import exactmath
 from repro.utils.rng import SeedLike, derive_rng, ensure_rng
 
 
@@ -121,6 +128,8 @@ class ChannelSimulator:
         self.subcarrier_indices = np.asarray(INTEL5300_SUBCARRIER_INDICES, dtype=float)
         self._rng = ensure_rng(seed)
         self._static_paths: list[Path] | None = None
+        self._bundle: PathBundle | None = None
+        self._static_synthesis: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # path enumeration
@@ -138,6 +147,17 @@ class ChannelSimulator:
             )
         return list(self._static_paths)
 
+    def path_bundle(self) -> PathBundle:
+        """Structure-of-arrays view of :meth:`static_paths` (cached).
+
+        The bundle feeds the vectorised shadowing and batched CFR synthesis;
+        ``path_bundle().to_paths()`` reproduces :meth:`static_paths`
+        bit-identically.
+        """
+        if self._bundle is None:
+            self._bundle = PathBundle.from_paths(self.static_paths())
+        return self._bundle
+
     def paths(self, humans: Sequence[HumanBody] | HumanBody | None = None) -> list[Path]:
         """All propagation paths given the people currently in the room.
 
@@ -151,6 +171,7 @@ class ChannelSimulator:
             for person in people:
                 gain *= person.shadow_attenuation(path)
             paths.append(path.with_gain(gain) if gain != 1.0 else path)
+        reflections: list[Path] = []
         for person in people:
             reflection = person.reflection_path(self.link.tx, self.link.rx)
             # The other people may partially shadow this new path too.
@@ -159,24 +180,238 @@ class ChannelSimulator:
                 if other is person:
                     continue
                 gain *= other.shadow_attenuation(reflection)
-            reflection = reflection.with_gain(gain) if gain != 1.0 else reflection
-            (reflection,) = assign_angles_of_arrival(
-                [reflection], self.link.rx, self.link.array.broadside
+            reflections.append(
+                reflection.with_gain(gain) if gain != 1.0 else reflection
             )
-            paths.append(reflection)
+        # One angle-of-arrival pass for every human reflection of the scene.
+        paths.extend(
+            assign_angles_of_arrival(
+                reflections, self.link.rx, self.link.array.broadside
+            )
+        )
         return paths
 
     # ------------------------------------------------------------------ #
     # CSI synthesis
     # ------------------------------------------------------------------ #
+    def _static_synthesis_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-static-path spectral constants, cached.
+
+        Returns ``(amp0, phase_exp, steer_exp)`` with shapes ``(P, K)``,
+        ``(P, K)`` and ``(P, A, K)``: the free-space amplitude (gain
+        excluded), the propagation phase rotation and the array steering
+        rotation of every static path.  Each table entry is computed with
+        exactly the per-path expressions of :func:`synthesize_cfr` /
+        :meth:`PropagationModel.complex_gain`, so re-assembling
+        ``(amp0 * gain) * phase_exp * steer_exp`` reproduces the scalar
+        synthesis bit-for-bit.
+        """
+        if self._static_synthesis is None:
+            bundle = self.path_bundle()
+            freqs = self.frequencies
+            num_antennas = self.link.array.num_elements
+            amp0 = np.empty((bundle.num_paths, freqs.size), dtype=float)
+            phase_exp = np.empty((bundle.num_paths, freqs.size), dtype=complex)
+            steer_exp = np.empty(
+                (bundle.num_paths, num_antennas, freqs.size), dtype=complex
+            )
+            for p in range(bundle.num_paths):
+                length = float(bundle.lengths[p])
+                amp0[p] = self.propagation.amplitude(length, freqs)
+                phase_exp[p] = np.exp(-1j * self.propagation.phase(length, freqs))
+                steer = self.link.array.phase_shifts(float(bundle.aoas[p]), 1.0)
+                steer_exp[p] = np.exp(-1j * steer[:, None] * freqs[None, :])
+            self._static_synthesis = (amp0, phase_exp, steer_exp)
+        return self._static_synthesis
+
     def clean_cfr(self, humans: Sequence[HumanBody] | HumanBody | None = None) -> np.ndarray:
-        """Noise-free CFR of shape ``(num_antennas, num_subcarriers)``."""
-        return synthesize_cfr(
-            self.paths(humans),
-            propagation=self.propagation,
-            array=self.link.array,
-            frequencies=self.frequencies,
+        """Noise-free CFR of shape ``(num_antennas, num_subcarriers)``.
+
+        Thin wrapper over :meth:`clean_cfr_batch` (a one-scene batch); the
+        result is bit-identical to synthesising ``self.paths(humans)`` with
+        :func:`synthesize_cfr`, which the parity test suite pins.
+        """
+        return self.clean_cfr_batch([humans])[0]
+
+    def clean_cfr_batch(
+        self, scenes: Sequence[Sequence[HumanBody] | HumanBody | None]
+    ) -> np.ndarray:
+        """Noise-free CFRs for many human placements in one vectorised pass.
+
+        Parameters
+        ----------
+        scenes:
+            One entry per scene, each in any form accepted by
+            :meth:`clean_cfr` (``None``, a single body, or a sequence of
+            bodies).  Bodies may be shared between scenes (for example a
+            static background while one person walks); shared objects are
+            deduplicated so their geometry is evaluated once.
+
+        Returns
+        -------
+        numpy.ndarray
+            Complex array of shape ``(num_scenes, num_antennas,
+            num_subcarriers)``; row ``s`` is bit-identical to
+            ``clean_cfr(scenes[s])`` evaluated on its own.
+
+        Notes
+        -----
+        Consumes no randomness, so callers that interleave CFR synthesis
+        with per-packet impairment draws (the collector) can batch the
+        synthesis up front without disturbing the historical RNG order.
+        """
+        scene_people = [self._normalize_humans(scene) for scene in scenes]
+        freqs = self.frequencies
+        num_antennas = self.link.array.num_elements
+        num_scenes = len(scene_people)
+        cfr = np.zeros((num_scenes, num_antennas, freqs.size), dtype=complex)
+        if num_scenes == 0:
+            return cfr
+        bundle = self.path_bundle()
+        amp0, phase_exp, steer_exp = self._static_synthesis_tables()
+
+        # Unique bodies by object identity — this mirrors the scalar path's
+        # ``other is person`` checks and lets a body shared across scenes
+        # (static background during a walk) be measured once.
+        body_ids: dict[int, int] = {}
+        bodies: list[HumanBody] = []
+        scene_slots: list[list[int]] = []
+        for people in scene_people:
+            slots = []
+            for body in people:
+                index = body_ids.get(id(body))
+                if index is None:
+                    index = len(bodies)
+                    body_ids[id(body)] = index
+                    bodies.append(body)
+                slots.append(index)
+            scene_slots.append(slots)
+        max_people = max((len(slots) for slots in scene_slots), default=0)
+
+        # ---- shadowing of static paths ------------------------------------
+        # (scene, path) gain: the path's accumulated reflection gain times
+        # the product of every present body's deepest per-segment
+        # attenuation, multiplied in scene order exactly as the scalar loop.
+        if bodies:
+            att_path = self._unique_body_attenuations(bodies, bundle)
+            shadow_prod = np.ones((num_scenes, bundle.num_paths), dtype=float)
+            for j in range(max_people):
+                rows = np.array(
+                    [s for s, slots in enumerate(scene_slots) if len(slots) > j],
+                    dtype=np.intp,
+                )
+                slot_bodies = np.array(
+                    [scene_slots[s][j] for s in rows], dtype=np.intp
+                )
+                shadow_prod[rows] *= att_path[slot_bodies]
+            static_gain = bundle.gains[None, :] * shadow_prod
+        else:
+            static_gain = np.broadcast_to(
+                bundle.gains[None, :], (num_scenes, bundle.num_paths)
+            )
+
+        # ---- static paths --------------------------------------------------
+        # Accumulate path by path (the scalar synthesis order); each scene's
+        # floating-point accumulation sequence is unchanged.
+        for p in range(bundle.num_paths):
+            amp = amp0[p][None, :] * static_gain[:, p][:, None]
+            base = amp * phase_exp[p][None, :]
+            cfr += base[:, None, :] * steer_exp[p][None, :, :]
+
+        if not bodies:
+            return cfr
+
+        # ---- human-created reflection paths -------------------------------
+        positions = points_as_array([b.position for b in bodies])
+        tx, rx = self.link.tx, self.link.rx
+        d1_raw = exactmath.hypot(tx.x - positions[:, 0], tx.y - positions[:, 1])
+        d2_raw = exactmath.hypot(positions[:, 0] - rx.x, positions[:, 1] - rx.y)
+        d1 = np.maximum(d1_raw, 0.1)
+        d2 = np.maximum(d2_raw, 0.1)
+        bistatic = (d1 + d2) / (d1 * d2)
+        reflection_gain = (
+            np.array([b.reflection_coefficient for b in bodies]) * bistatic
         )
+        lengths = d1_raw + d2_raw
+        sigma = np.array([b.shadow_sigma() for b in bodies])
+        depth = np.array([1.0 - b.min_attenuation for b in bodies])
+        aoas = signed_angles_to_reference(
+            positions - np.array([[rx.x, rx.y]]), self.link.array.broadside
+        )
+        amp_u = self.propagation.amplitude_batch(lengths, freqs)
+        pexp_u = np.exp(-1j * self.propagation.phase(lengths[:, None], freqs))
+        steer_phases = (
+            self.link.array.unit_phase_shift_factors()[None, :]
+            * exactmath.sin(aoas)[:, None]
+        )
+        steer_u = np.exp((-1j * steer_phases)[:, :, None] * freqs[None, None, :])
+
+        tx_row = np.array([[tx.x, tx.y]])
+        rx_row = np.array([[rx.x, rx.y]])
+        for j in range(max_people):
+            rows = np.array(
+                [s for s, slots in enumerate(scene_slots) if len(slots) > j],
+                dtype=np.intp,
+            )
+            if rows.size == 0:
+                continue
+            u_j = np.array([scene_slots[s][j] for s in rows], dtype=np.intp)
+            # Shadowing of this reflection by the *other* people of each
+            # scene, multiplied in scene order; a body listed twice shadows
+            # itself in neither path (the scalar `is` check).
+            others_prod = np.ones(rows.size, dtype=float)
+            for k in range(max_people):
+                mask = np.array(
+                    [
+                        len(scene_slots[s]) > k
+                        and scene_slots[s][k] != scene_slots[s][j]
+                        for s in rows
+                    ],
+                    dtype=bool,
+                )
+                if not mask.any():
+                    continue
+                u_k = np.array(
+                    [scene_slots[s][k] for s in rows[mask]], dtype=np.intp
+                )
+                p_j = positions[u_j[mask]]
+                p_k = positions[u_k]
+                tx_stack = np.broadcast_to(tx_row, p_j.shape)
+                rx_stack = np.broadcast_to(rx_row, p_j.shape)
+                off_first = paired_segment_point_distances(tx_stack, p_j, p_k)
+                off_second = paired_segment_point_distances(p_j, rx_stack, p_k)
+                attenuation = np.minimum(
+                    attenuation_profile(off_first, sigma[u_k], depth[u_k]),
+                    attenuation_profile(off_second, sigma[u_k], depth[u_k]),
+                )
+                others_prod[mask] *= attenuation
+            gain = reflection_gain[u_j] * others_prod
+            amp = amp_u[u_j] * gain[:, None]
+            base = amp * pexp_u[u_j]
+            cfr[rows] += base[:, None, :] * steer_u[u_j]
+        return cfr
+
+    @staticmethod
+    def _unique_body_attenuations(
+        bodies: Sequence[HumanBody], bundle: PathBundle
+    ) -> np.ndarray:
+        """Static-path shadow attenuation of every unique body, ``(U, P)``.
+
+        Bodies sharing shadow parameters (radius, depth, extent) are grouped
+        so each group runs one :meth:`HumanBody.shadow_attenuation_batch`
+        call over its stacked positions; grouping only changes batching, not
+        any per-element arithmetic.
+        """
+        att = np.empty((len(bodies), bundle.num_paths), dtype=float)
+        groups: dict[tuple[float, float, float], list[int]] = {}
+        for index, body in enumerate(bodies):
+            key = (body.radius, body.min_attenuation, body.shadow_extent_wavelengths)
+            groups.setdefault(key, []).append(index)
+        for indices in groups.values():
+            template = bodies[indices[0]]
+            positions = points_as_array([bodies[i].position for i in indices])
+            att[indices] = template.shadow_attenuation_batch(bundle, positions)
+        return att
 
     def impair(self, clean: np.ndarray, *, seed: SeedLike = None) -> np.ndarray:
         """Apply this simulator's per-packet impairments to a clean CFR.
@@ -234,18 +469,24 @@ class ChannelSimulator:
 
         Used for the walking-across-the-link measurements of Fig. 2b.
         Returns shape ``(len(positions), num_antennas, num_subcarriers)``.
+
+        The clean CFRs of all positions are synthesised in one
+        :meth:`clean_cfr_batch` pass (sharing the background bodies across
+        scenes); clean synthesis consumes no randomness, so the per-packet
+        impairment draws keep their historical order and the result is
+        bit-identical to the per-position loop.
         """
         rng = ensure_rng(seed) if seed is not None else self._rng
         template = body if body is not None else HumanBody(position=self.link.midpoint())
-        packets = []
-        for position in positions:
-            person = template.moved_to(position)
-            humans = [person, *background]
-            packets.append(
-                self.impairments.apply(
-                    self.clean_cfr(humans), self.subcarrier_indices, seed=rng
-                )
-            )
+        background = list(background)
+        scenes = [
+            [template.moved_to(position), *background] for position in positions
+        ]
+        cleans = self.clean_cfr_batch(scenes)
+        packets = [
+            self.impairments.apply(cleans[i], self.subcarrier_indices, seed=rng)
+            for i in range(len(scenes))
+        ]
         return np.asarray(packets)
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
+import numpy as np
+
+from repro.utils import exactmath
+
 
 @dataclass(frozen=True)
 class Point:
@@ -263,6 +267,130 @@ def path_length(points: Sequence[Point]) -> float:
     if len(points) < 2:
         return 0.0
     return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def points_as_array(points: Sequence[Point]) -> np.ndarray:
+    """Stack :class:`Point` objects into an ``(N, 2)`` float array."""
+    if not points:
+        return np.zeros((0, 2), dtype=float)
+    return np.array([[p.x, p.y] for p in points], dtype=float)
+
+
+def segment_point_distances(
+    starts: np.ndarray, ends: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Distances from every point to every segment, vectorised.
+
+    Bit-identical batch form of :meth:`Segment.distance_to_point`: the same
+    clamp-projection arithmetic evaluated over a stack of segments, with the
+    final Euclidean norm routed through :func:`repro.utils.exactmath.hypot`
+    so each entry matches the scalar ``math.hypot`` call exactly.
+
+    Parameters
+    ----------
+    starts, ends:
+        Segment endpoints, shape ``(num_segments, 2)``.
+    points:
+        Query points, shape ``(num_points, 2)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance matrix of shape ``(num_points, num_segments)``.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if starts.ndim != 2 or starts.shape[1] != 2 or starts.shape != ends.shape:
+        raise ValueError(
+            f"starts/ends must both have shape (num_segments, 2), "
+            f"got {starts.shape} and {ends.shape}"
+        )
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must have shape (num_points, 2), got {points.shape}")
+    direction = ends - starts  # (S, 2)
+    length_sq = direction[:, 0] * direction[:, 0] + direction[:, 1] * direction[:, 1]
+    degenerate = length_sq < 1e-24
+    safe_length_sq = np.where(degenerate, 1.0, length_sq)
+    rel_x = points[:, None, 0] - starts[None, :, 0]  # (N, S)
+    rel_y = points[:, None, 1] - starts[None, :, 1]
+    t = (rel_x * direction[None, :, 0] + rel_y * direction[None, :, 1]) / safe_length_sq
+    t = np.clip(t, 0.0, 1.0)
+    closest_x = starts[None, :, 0] + direction[None, :, 0] * t
+    closest_y = starts[None, :, 1] + direction[None, :, 1] * t
+    distances = exactmath.hypot(closest_x - points[:, None, 0], closest_y - points[:, None, 1])
+    if np.any(degenerate):
+        start_dist = exactmath.hypot(
+            starts[None, :, 0] - points[:, None, 0], starts[None, :, 1] - points[:, None, 1]
+        )
+        distances = np.where(degenerate[None, :], start_dist, distances)
+    return distances
+
+
+def paired_segment_point_distances(
+    starts: np.ndarray, ends: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Row-aligned variant of :func:`segment_point_distances`.
+
+    Computes the distance from ``points[i]`` to the segment
+    ``starts[i] → ends[i]`` (one distance per row rather than the full
+    cross product), with the same bit-identical arithmetic.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if not (starts.shape == ends.shape == points.shape) or starts.ndim != 2:
+        raise ValueError(
+            f"starts/ends/points must share shape (N, 2), got "
+            f"{starts.shape}, {ends.shape}, {points.shape}"
+        )
+    direction = ends - starts
+    length_sq = direction[:, 0] * direction[:, 0] + direction[:, 1] * direction[:, 1]
+    degenerate = length_sq < 1e-24
+    safe_length_sq = np.where(degenerate, 1.0, length_sq)
+    rel_x = points[:, 0] - starts[:, 0]
+    rel_y = points[:, 1] - starts[:, 1]
+    t = (rel_x * direction[:, 0] + rel_y * direction[:, 1]) / safe_length_sq
+    t = np.clip(t, 0.0, 1.0)
+    closest_x = starts[:, 0] + direction[:, 0] * t
+    closest_y = starts[:, 1] + direction[:, 1] * t
+    distances = exactmath.hypot(closest_x - points[:, 0], closest_y - points[:, 1])
+    if np.any(degenerate):
+        start_dist = exactmath.hypot(
+            starts[:, 0] - points[:, 0], starts[:, 1] - points[:, 1]
+        )
+        distances = np.where(degenerate, start_dist, distances)
+    return distances
+
+
+def signed_angles_to_reference(vectors: np.ndarray, reference: Point) -> np.ndarray:
+    """Batched :func:`angle_between` with the origin at ``(0, 0)``.
+
+    Computes the signed angle of each row vector relative to
+    *reference*, reproducing the scalar function bit-for-bit (including the
+    zero-vector → 0.0 convention); the `acos` goes through
+    :mod:`repro.utils.exactmath`.
+
+    Parameters
+    ----------
+    vectors:
+        Row vectors, shape ``(N, 2)``.
+    reference:
+        Reference direction (normalised internally, exactly as the scalar
+        :func:`angle_between` does).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2 or vectors.shape[1] != 2:
+        raise ValueError(f"vectors must have shape (N, 2), got {vectors.shape}")
+    ref = reference.normalized()
+    norms = exactmath.hypot(vectors[:, 0], vectors[:, 1])
+    small = norms < 1e-12
+    safe_norms = np.where(small, 1.0, norms)
+    ux = vectors[:, 0] / safe_norms
+    uy = vectors[:, 1] / safe_norms
+    cos_a = np.clip(ux * ref.x + uy * ref.y, -1.0, 1.0)
+    sign = np.where(ref.x * uy - ref.y * ux >= 0, 1.0, -1.0)
+    return np.where(small, 0.0, sign * exactmath.acos(cos_a))
 
 
 def segment_blocked_by_disc(

@@ -21,10 +21,42 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.channel.constants import center_wavelength
-from repro.channel.geometry import Point, Segment
+from repro.channel.geometry import Point, Segment, segment_point_distances
 from repro.channel.rays import Path
+from repro.utils import exactmath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.channel.scene import PathBundle
+
+#: Elementwise ``math.exp(-(r ** 2))`` — the Gaussian core of the shadowing
+#: profile, fused into one exact pass so the batched attenuation reproduces
+#: the scalar ``attenuation_for_offset`` expression bit-for-bit (both the
+#: libm ``pow`` of ``r ** 2`` and the libm ``exp``; see
+#: :mod:`repro.utils.exactmath` for why NumPy's own kernels cannot be used).
+_GAUSS_PROFILE = np.frompyfunc(lambda r: math.exp(-(float(r) ** 2)), 1, 1)
+
+
+def attenuation_profile(
+    offsets: np.ndarray, sigma: np.ndarray | float, depth: np.ndarray | float
+) -> np.ndarray:
+    """Vectorised shadowing profile ``1 - depth * exp(-(offset/sigma)^2)``.
+
+    Broadcasting form of :meth:`HumanBody.attenuation_for_offset` used when
+    the bodies in a batch carry different parameters (*sigma* / *depth* may
+    be arrays broadcast against *offsets*).  Bit-identical to the scalar
+    method for every element.
+    """
+    offsets = np.asarray(offsets, dtype=float)
+    if np.any(offsets < 0):
+        raise ValueError("offsets must be >= 0")
+    return 1.0 - np.asarray(depth, dtype=float) * _GAUSS_PROFILE(
+        offsets / np.asarray(sigma, dtype=float)
+    ).astype(float)
 
 
 @dataclass(frozen=True)
@@ -95,6 +127,59 @@ class HumanBody:
         sigma = self.shadow_sigma()
         depth = 1.0 - self.min_attenuation
         return 1.0 - depth * math.exp(-((offset / sigma) ** 2))
+
+    def attenuation_for_offsets(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`attenuation_for_offset` over an offset array.
+
+        Returns an array of the same shape as *offsets*; every element is
+        bit-identical to the scalar method applied to that offset.
+        """
+        return attenuation_profile(
+            offsets, self.shadow_sigma(), 1.0 - self.min_attenuation
+        )
+
+    def shadow_attenuation_batch(
+        self, bundle: "PathBundle", positions: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-path shadow attenuation for many standing positions at once.
+
+        Batched form of :meth:`shadow_attenuation` over a
+        :class:`~repro.channel.scene.PathBundle`: for each position the body
+        (with this body's radius/attenuation parameters) is placed there and
+        the deepest attenuation over each path's segments is taken, exactly
+        as the scalar method does per path.
+
+        Parameters
+        ----------
+        bundle:
+            Stacked path set to shadow.
+        positions:
+            Candidate body centres, shape ``(num_positions, 2)``; ``None``
+            evaluates this body's own position (one row).
+
+        Returns
+        -------
+        numpy.ndarray
+            Attenuations of shape ``(num_positions, bundle.num_paths)``,
+            bit-identical to ``shadow_attenuation`` per (position, path).
+        """
+        if positions is None:
+            positions = np.array([[self.position.x, self.position.y]], dtype=float)
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(
+                f"positions must have shape (num_positions, 2), got {positions.shape}"
+            )
+        if bundle.num_paths == 0:
+            return np.ones((positions.shape[0], 0), dtype=float)
+        offsets = segment_point_distances(
+            bundle.segment_starts, bundle.segment_ends, positions
+        )
+        per_segment = self.attenuation_for_offsets(offsets)
+        # Deepest shadow over each path's (contiguous) segment block; the
+        # scalar loop's min() starts at 1.0, which every per-segment value
+        # is already bounded by.
+        return np.minimum.reduceat(per_segment, bundle.segment_offsets[:-1], axis=1)
 
     def shadow_attenuation(self, path: Path) -> float:
         """Amplitude attenuation this person applies to an existing *path*.

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.constants import SPEED_OF_LIGHT
+from repro.utils import exactmath
 from repro.utils.validation import check_positive
 
 
@@ -64,6 +65,28 @@ class PropagationModel:
             raise ValueError("frequency must be positive")
         amp_const = np.sqrt(self.tx_power * self.tx_gain * self.rx_gain) * SPEED_OF_LIGHT
         return amp_const / ((4.0 * np.pi * d) ** (self.path_loss_exponent / 2.0) * f)
+
+    def amplitude_batch(self, distances: np.ndarray, frequency: np.ndarray) -> np.ndarray:
+        """Field amplitudes for a stack of path lengths, ``(N, K)``.
+
+        Bit-identical per row to :meth:`amplitude` called with each scalar
+        distance: the scalar path's ``(4 pi d) ** (n/2)`` runs through libm's
+        ``pow`` (NumPy returns scalars from 0-d operations, and scalar
+        ``**`` takes the libm route), whereas an array ``**`` would use
+        NumPy's SIMD pow kernel, which differs in the last ulp for some
+        inputs — so the batch routes the pow through
+        :func:`repro.utils.exactmath.power` and keeps everything else in
+        vectorised (exact) arithmetic.
+        """
+        d = np.maximum(np.asarray(distances, dtype=float), self.reference_distance)
+        if d.ndim != 1:
+            raise ValueError(f"distances must be 1-D, got shape {d.shape}")
+        f = np.asarray(frequency, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        amp_const = np.sqrt(self.tx_power * self.tx_gain * self.rx_gain) * SPEED_OF_LIGHT
+        factor = exactmath.power(4.0 * np.pi * d, self.path_loss_exponent / 2.0)
+        return amp_const / (factor[:, None] * f)
 
     def phase(self, distance: float | np.ndarray, frequency: float | np.ndarray) -> np.ndarray:
         """Propagation phase ``2 pi f d / c`` in radians (not wrapped)."""

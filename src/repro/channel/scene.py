@@ -1,0 +1,148 @@
+"""Structure-of-arrays view of a set of propagation paths.
+
+:class:`PathBundle` stacks the per-path polylines, lengths, gains, angles of
+arrival and kinds of a ``list[Path]`` into flat NumPy arrays so that the
+geometry-heavy layers (human shadowing in :mod:`repro.channel.human`, batched
+CFR synthesis in :mod:`repro.channel.channel`) can operate on whole path sets
+at once instead of looping over ``Path.segments()`` objects.
+
+The bundle is a *lossless* view: :meth:`PathBundle.to_paths` reconstructs the
+original :class:`~repro.channel.rays.Path` objects bit-identically (floats
+round-trip exactly through float64 arrays), which is pinned by tests.  The
+scalar ``Path`` API stays the user-facing representation; the bundle is the
+engine-facing one, built once per static environment and reused for every
+monitoring window and trajectory position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.channel.geometry import Point
+from repro.channel.rays import Path
+
+
+@dataclass(frozen=True)
+class PathBundle:
+    """A set of propagation paths stacked into flat arrays.
+
+    Attributes
+    ----------
+    vertices:
+        All path polyline vertices, shape ``(num_vertices, 2)``; the
+        vertices of path ``p`` are rows
+        ``vertex_offsets[p]:vertex_offsets[p + 1]``.
+    vertex_offsets:
+        Per-path vertex ranges, shape ``(num_paths + 1,)``.
+    segment_starts, segment_ends:
+        Endpoints of every straight segment of every path, shape
+        ``(num_segments, 2)``; path ``p`` owns the *contiguous* rows
+        ``segment_offsets[p]:segment_offsets[p + 1]``.
+    segment_offsets:
+        Per-path segment ranges, shape ``(num_paths + 1,)`` — ready for
+        ``np.minimum.reduceat``-style per-path reductions.
+    lengths:
+        Total geometric path lengths (``Path.length()``), shape
+        ``(num_paths,)``.
+    gains:
+        Accumulated amplitude gains, shape ``(num_paths,)``.
+    aoas:
+        Angles of arrival in radians, shape ``(num_paths,)``.
+    kinds, materials:
+        Per-path kind strings and bounce-material tuples (kept as Python
+        tuples; they never enter numeric kernels).
+    """
+
+    vertices: np.ndarray
+    vertex_offsets: np.ndarray
+    segment_starts: np.ndarray
+    segment_ends: np.ndarray
+    segment_offsets: np.ndarray
+    lengths: np.ndarray
+    gains: np.ndarray
+    aoas: np.ndarray
+    kinds: tuple[str, ...]
+    materials: tuple[tuple[str, ...], ...] = field(default=())
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_paths(cls, paths: Sequence[Path]) -> "PathBundle":
+        """Stack *paths* into a bundle (lossless; see :meth:`to_paths`).
+
+        Lengths are taken from ``Path.length()`` so the bundle carries
+        exactly the floats the scalar synthesis consumes.
+        """
+        vertices: list[tuple[float, float]] = []
+        vertex_offsets = [0]
+        seg_starts: list[tuple[float, float]] = []
+        seg_ends: list[tuple[float, float]] = []
+        segment_offsets = [0]
+        for path in paths:
+            if len(path.vertices) < 2:
+                raise ValueError(
+                    f"path must have at least 2 vertices, got {len(path.vertices)}"
+                )
+            for vertex in path.vertices:
+                vertices.append((vertex.x, vertex.y))
+            vertex_offsets.append(len(vertices))
+            for a, b in zip(path.vertices[:-1], path.vertices[1:]):
+                seg_starts.append((a.x, a.y))
+                seg_ends.append((b.x, b.y))
+            segment_offsets.append(len(seg_starts))
+        return cls(
+            vertices=np.asarray(vertices, dtype=float).reshape(len(vertices), 2),
+            vertex_offsets=np.asarray(vertex_offsets, dtype=np.intp),
+            segment_starts=np.asarray(seg_starts, dtype=float).reshape(len(seg_starts), 2),
+            segment_ends=np.asarray(seg_ends, dtype=float).reshape(len(seg_ends), 2),
+            segment_offsets=np.asarray(segment_offsets, dtype=np.intp),
+            lengths=np.array([path.length() for path in paths], dtype=float),
+            gains=np.array([path.amplitude_gain for path in paths], dtype=float),
+            aoas=np.array([path.aoa_rad for path in paths], dtype=float),
+            kinds=tuple(path.kind for path in paths),
+            materials=tuple(path.materials for path in paths),
+        )
+
+    # ------------------------------------------------------------------ #
+    # shape accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_paths(self) -> int:
+        """Number of paths in the bundle."""
+        return len(self.kinds)
+
+    @property
+    def num_segments(self) -> int:
+        """Total number of straight segments across all paths."""
+        return self.segment_starts.shape[0]
+
+    def segments_of(self, path_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(starts, ends) rows of one path's segments."""
+        lo, hi = self.segment_offsets[path_index], self.segment_offsets[path_index + 1]
+        return self.segment_starts[lo:hi], self.segment_ends[lo:hi]
+
+    # ------------------------------------------------------------------ #
+    # reconstruction
+    # ------------------------------------------------------------------ #
+    def to_paths(self) -> list[Path]:
+        """Rebuild the original ``list[Path]`` bit-identically."""
+        paths: list[Path] = []
+        for p in range(self.num_paths):
+            lo, hi = self.vertex_offsets[p], self.vertex_offsets[p + 1]
+            verts = tuple(
+                Point(float(x), float(y)) for x, y in self.vertices[lo:hi]
+            )
+            paths.append(
+                Path(
+                    vertices=verts,
+                    kind=self.kinds[p],
+                    materials=self.materials[p],
+                    amplitude_gain=float(self.gains[p]),
+                    aoa_rad=float(self.aoas[p]),
+                )
+            )
+        return paths

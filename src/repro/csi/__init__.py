@@ -9,6 +9,7 @@ phase sanitisation, subcarrier RSS extraction and trace management.
 from repro.csi.calibration import (
     remove_common_phase,
     remove_linear_phase,
+    sanitize_csi_array,
     sanitize_frame,
     sanitize_trace,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "PacketCollector",
     "remove_common_phase",
     "remove_linear_phase",
+    "sanitize_csi_array",
     "sanitize_frame",
     "sanitize_trace",
     "rss_change_db",

@@ -9,6 +9,15 @@ linear fit of the unwrapped phase against the subcarrier index.
 The sanitised phase preserves the *relative* phase structure across
 subcarriers and antennas, which is what the multipath factor and the MUSIC
 angle estimation consume.
+
+Sanitisation runs over whole traces in one vectorised pass: a batched unwrap
+over ``(packets, subcarriers)``, one batched least-squares slope/offset fit
+and one broadcast correction.  The per-frame LAPACK solve that
+``np.polyfit`` performs is kept *exactly* (each row is still its own
+single-RHS ``dgelsd`` call, routed through NumPy's ``lstsq`` gufunc with a
+batch dimension), so every sanitised frame is bit-identical to the
+historical per-frame loop — a contract the detection pipeline's score
+parity tests pin down.
 """
 
 from __future__ import annotations
@@ -17,6 +26,109 @@ import numpy as np
 
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from numpy.linalg import _umath_linalg as _umath_linalg
+
+    _LSTSQ_GUFUNC = getattr(_umath_linalg, "lstsq", None) or getattr(
+        _umath_linalg, "lstsq_m", None
+    )
+except Exception:  # pragma: no cover - numpy layout change
+    _LSTSQ_GUFUNC = None
+
+
+def _linear_phase_fits(indices: np.ndarray, phases: np.ndarray) -> np.ndarray:
+    """Per-row ``(slope, offset)`` fits, bit-identical to ``np.polyfit(deg=1)``.
+
+    Replicates ``np.polyfit``'s preprocessing (Vandermonde matrix, column
+    scaling, default ``rcond``) once for the shared abscissa, then solves all
+    rows through the ``lstsq`` gufunc with a leading batch dimension: every
+    row is still an independent single-RHS LAPACK solve on the same scaled
+    matrix — exactly the computation ``np.polyfit(indices, row, 1)`` runs —
+    but the loop over rows happens in C.  Falls back to the literal per-row
+    ``np.polyfit`` when the gufunc is unavailable.
+
+    Parameters
+    ----------
+    indices:
+        Shared abscissa (subcarrier indices), shape ``(K,)``.
+    phases:
+        Unwrapped phases, shape ``(rows, K)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Coefficients of shape ``(rows, 2)`` ordered ``[slope, offset]``.
+    """
+    # np.polyfit promotes x and y with `+ 0.0`, which also normalises any
+    # negative zeros; repeat it so the fitted bits cannot differ.
+    indices = np.asarray(indices, dtype=float) + 0.0
+    phases = np.ascontiguousarray(phases, dtype=float) + 0.0
+    if phases.shape[0] == 0:
+        return np.zeros((0, 2), dtype=float)
+    lhs = np.vander(indices, 2)
+    scale = np.sqrt((lhs * lhs).sum(axis=0))
+    lhs_scaled = lhs / scale
+    rcond = len(indices) * np.finfo(indices.dtype).eps
+    if _LSTSQ_GUFUNC is not None:
+        stacked = np.broadcast_to(
+            lhs_scaled, (phases.shape[0], *lhs_scaled.shape)
+        )
+        coefficients = _LSTSQ_GUFUNC(stacked, phases[:, :, None], rcond)[0][:, :, 0]
+        return coefficients / scale[None, :]
+    return np.stack([np.polyfit(indices, row, 1) for row in phases])
+
+
+def sanitize_csi_array(
+    csi: np.ndarray,
+    subcarrier_indices: np.ndarray,
+    *,
+    keep_inter_antenna_phase: bool = True,
+) -> np.ndarray:
+    """Sanitise a stack of CSI packets in one vectorised pass.
+
+    Parameters
+    ----------
+    csi:
+        Complex CSI of shape ``(packets, antennas, subcarriers)``.
+    subcarrier_indices:
+        Abscissa of the linear phase fit, shape ``(subcarriers,)``.
+    keep_inter_antenna_phase:
+        When True (default) each packet's fit is computed on antenna 0 and
+        the same correction applied to all its antennas (preserving the
+        inter-antenna phase needed for angle estimation); when False every
+        antenna is fitted independently.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sanitised CSI with the same shape; every packet is bit-identical to
+        the historical per-frame :func:`sanitize_frame` computation.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    if csi.ndim != 3:
+        raise ValueError(
+            f"csi must have shape (packets, antennas, subcarriers), got {csi.shape}"
+        )
+    packets, antennas, subcarriers = csi.shape
+    indices = np.asarray(subcarrier_indices, dtype=float)
+    if indices.shape != (subcarriers,):
+        raise ValueError(
+            f"subcarrier_indices has shape {indices.shape}, expected ({subcarriers},)"
+        )
+    if keep_inter_antenna_phase:
+        phases = np.unwrap(np.angle(csi[:, 0, :]), axis=-1)
+        coefficients = _linear_phase_fits(indices, phases)
+        corrections = coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
+        return csi * np.exp(-1j * corrections)[:, None, :]
+    phases = np.unwrap(np.angle(csi), axis=-1)
+    coefficients = _linear_phase_fits(
+        indices, phases.reshape(packets * antennas, subcarriers)
+    )
+    corrections = (
+        coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
+    ).reshape(packets, antennas, subcarriers)
+    return csi * np.exp(-1j * corrections)
 
 
 def remove_linear_phase(csi: np.ndarray, subcarrier_indices: np.ndarray) -> np.ndarray:
@@ -34,22 +146,16 @@ def remove_linear_phase(csi: np.ndarray, subcarrier_indices: np.ndarray) -> np.n
     -------
     numpy.ndarray
         CSI with the fitted linear phase removed, same shape as the input.
+        All antennas are fitted in one batched pass (see
+        :func:`sanitize_csi_array`), bit-identical to the historical
+        per-antenna ``np.polyfit`` loop.
     """
     csi = np.asarray(csi, dtype=complex)
     if csi.ndim != 2:
         raise ValueError(f"csi must be 2-D (antennas x subcarriers), got {csi.shape}")
-    indices = np.asarray(subcarrier_indices, dtype=float)
-    if indices.shape != (csi.shape[1],):
-        raise ValueError(
-            f"subcarrier_indices has shape {indices.shape}, expected ({csi.shape[1]},)"
-        )
-    sanitized = np.empty_like(csi)
-    for antenna in range(csi.shape[0]):
-        phase = np.unwrap(np.angle(csi[antenna]))
-        slope, offset = np.polyfit(indices, phase, 1)
-        correction = slope * indices + offset
-        sanitized[antenna] = csi[antenna] * np.exp(-1j * correction)
-    return sanitized
+    return sanitize_csi_array(
+        csi[None, :, :], subcarrier_indices, keep_inter_antenna_phase=False
+    )[0]
 
 
 def remove_common_phase(csi: np.ndarray, reference_antenna: int = 0) -> np.ndarray:
@@ -75,6 +181,8 @@ def remove_common_phase(csi: np.ndarray, reference_antenna: int = 0) -> np.ndarr
 def sanitize_frame(frame: CSIFrame, *, keep_inter_antenna_phase: bool = True) -> CSIFrame:
     """Sanitise a single CSI frame.
 
+    Thin wrapper over :func:`sanitize_csi_array` with a one-packet batch.
+
     Parameters
     ----------
     frame:
@@ -86,24 +194,31 @@ def sanitize_frame(frame: CSIFrame, *, keep_inter_antenna_phase: bool = True) ->
         estimation.  When False each antenna is fitted independently (the
         amplitude-only pipeline does not care).
     """
-    indices = np.asarray(frame.subcarrier_indices, dtype=float)
-    csi = frame.csi
-    if keep_inter_antenna_phase:
-        phase = np.unwrap(np.angle(csi[0]))
-        slope, offset = np.polyfit(indices, phase, 1)
-        correction = slope * indices + offset
-        sanitized = csi * np.exp(-1j * correction)[None, :]
-    else:
-        sanitized = remove_linear_phase(csi, indices)
+    sanitized = sanitize_csi_array(
+        frame.csi[None, :, :],
+        np.asarray(frame.subcarrier_indices, dtype=float),
+        keep_inter_antenna_phase=keep_inter_antenna_phase,
+    )[0]
     return frame.with_csi(sanitized)
 
 
 def sanitize_trace(trace: CSITrace, *, keep_inter_antenna_phase: bool = True) -> CSITrace:
-    """Sanitise every frame of a trace (see :func:`sanitize_frame`)."""
-    frames = [
-        sanitize_frame(trace.frame(i), keep_inter_antenna_phase=keep_inter_antenna_phase)
-        for i in range(trace.num_packets)
-    ]
-    sanitized = CSITrace.from_frames(frames, label=trace.label)
-    sanitized.timestamps = trace.timestamps.copy()
-    return sanitized
+    """Sanitise every frame of a trace in one batched pass.
+
+    Equivalent to (and bit-identical with) sanitising each frame through
+    :func:`sanitize_frame`, but the unwrap, the least-squares fits and the
+    correction run over the whole ``(packets, subcarriers)`` stack at once.
+    The returned trace shares the input's timestamps (copied), subcarrier
+    grid and label.
+    """
+    sanitized = sanitize_csi_array(
+        trace.csi,
+        np.asarray(trace.subcarrier_indices, dtype=float),
+        keep_inter_antenna_phase=keep_inter_antenna_phase,
+    )
+    return CSITrace(
+        csi=sanitized,
+        timestamps=trace.timestamps.copy(),
+        subcarrier_indices=trace.subcarrier_indices,
+        label=trace.label,
+    )

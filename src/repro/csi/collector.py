@@ -172,6 +172,14 @@ class PacketCollector:
         returned trace therefore holds *fewer* packets than positions — the
         walk is bounded in time, unlike a fixed-size static capture.  With
         ``loss_probability=0`` there is exactly one packet per position.
+
+        All per-position clean CFRs are synthesised up front in one
+        :meth:`~repro.channel.channel.ChannelSimulator.clean_cfr_batch` pass
+        (the background bodies are shared across scenes).  Clean synthesis
+        consumes no randomness, so the per-ping draw order (loss draw, then
+        impairment draws) is exactly the historical one and the trace is
+        bit-identical to the per-position loop — a lost ping's pre-computed
+        CFR is simply discarded, just as the loop never computed it.
         """
         if not positions:
             raise ValueError("positions must contain at least one point")
@@ -179,16 +187,19 @@ class PacketCollector:
         template = (
             body if body is not None else HumanBody(position=self.simulator.link.midpoint())
         )
+        background = list(background)
+        scenes = [
+            [template.moved_to(position), *background] for position in positions
+        ]
+        cleans = self.simulator.clean_cfr_batch(scenes)
         frames = []
         timestamps = []
         t = start_time
-        for position in positions:
+        for i in range(len(scenes)):
             t += interval
             if self._ping_lost(0):
                 continue
-            person = template.moved_to(position)
-            clean = self.simulator.clean_cfr([person, *background])
-            frames.append(self.simulator.impair(clean, seed=self._rng))
+            frames.append(self.simulator.impair(cleans[i], seed=self._rng))
             timestamps.append(t)
         if not frames:
             raise RuntimeError(

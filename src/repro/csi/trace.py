@@ -153,8 +153,28 @@ class CSITrace:
     # construction / combination
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_frames(cls, frames: Sequence[CSIFrame], *, label: str = "") -> "CSITrace":
-        """Stack individual frames into a trace (they must agree in shape)."""
+    def from_frames(
+        cls,
+        frames: Sequence[CSIFrame],
+        *,
+        label: str = "",
+        timestamps: np.ndarray | Sequence[float] | None = None,
+    ) -> "CSITrace":
+        """Stack individual frames into a trace (they must agree in shape).
+
+        Parameters
+        ----------
+        frames:
+            Frames to stack, in packet order.
+        label:
+            Free-form trace label.
+        timestamps:
+            Optional per-packet times overriding the frames' own
+            ``timestamp`` attributes (one entry per frame), so callers that
+            carry an authoritative time axis — e.g. a source trace being
+            transformed frame by frame — never need to mutate the built
+            trace afterwards.
+        """
         if not frames:
             raise ValueError("from_frames requires at least one frame")
         shapes = {frame.csi.shape for frame in frames}
@@ -162,7 +182,14 @@ class CSITrace:
             raise ValueError(f"frames have inconsistent shapes: {shapes}")
         indices = frames[0].subcarrier_indices
         csi = np.stack([frame.csi for frame in frames])
-        timestamps = np.asarray([frame.timestamp for frame in frames], dtype=float)
+        if timestamps is None:
+            timestamps = np.asarray([frame.timestamp for frame in frames], dtype=float)
+        else:
+            timestamps = np.asarray(timestamps, dtype=float)
+            if timestamps.shape != (len(frames),):
+                raise ValueError(
+                    f"timestamps has shape {timestamps.shape}, expected ({len(frames)},)"
+                )
         return cls(csi=csi, timestamps=timestamps, subcarrier_indices=indices, label=label)
 
     @classmethod

@@ -14,9 +14,10 @@ Determinism is inherited from the campaign driver rather than re-invented:
   (``config.seed + 1000 * case_index``), so a sweep point's record is
   bit-identical to running ``run_evaluation(point.config, cases=...)`` on its
   own;
-* results are merged back in ``(point, case)`` submission order, so the
-  store's records — and their exact bytes — are identical for any worker
-  count.
+* futures are collected as they complete (so a slow unit early in the grid
+  never delays noticing later failures) but results are buffered and merged
+  back in ``(point, case)`` submission order, so the store's records — and
+  their exact bytes — are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -199,32 +200,72 @@ class SweepRunner:
                     ],
                 )
         else:
-            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import (
+                CancelledError,
+                ProcessPoolExecutor,
+                as_completed,
+            )
 
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 futures = [
                     executor.submit(_run_point_case, link, point.config, seed)
                     for point, link, seed in tasks
                 ]
-                # Collect in submission order: the merged records (and the
-                # store's bytes) are identical to the sequential sweep for any
-                # worker count.  Each point's record is appended as soon as
-                # its own cases are done, so an interrupted sweep keeps every
-                # fully-finished point.
+                # Collect as-completed, flush in submission order: results of
+                # units that finish out of order are buffered, and a point's
+                # record is appended the moment every earlier point has been
+                # appended and its own cases are done.  The store's records —
+                # and their exact bytes — therefore stay identical to the
+                # sequential sweep for any worker count, while a long-tailed
+                # unit early in the grid no longer postpones noticing a
+                # failure of later units (nor holds every later result alive
+                # until its own point flushes — buffers are popped as points
+                # complete).
+                index_of = {future: i for i, future in enumerate(futures)}
+                buffered: dict[int, list[ScoredWindow]] = {}
+                next_unit = 0
+
+                def flush_ready() -> None:
+                    nonlocal next_unit
+                    while next_unit < len(tasks):
+                        lo, hi = next_unit, next_unit + len(cases)
+                        if not all(i in buffered for i in range(lo, hi)):
+                            break
+                        point = pending[next_unit // len(cases)]
+                        per_case = [buffered.pop(i) for i in range(lo, hi)]
+                        # Mark the point consumed *before* completing it: if
+                        # the store append or a progress callback raises
+                        # after the record hit disk, the failure drain below
+                        # must not replay the point (a duplicate record
+                        # would break the store's byte-parity contract).
+                        next_unit = hi
+                        complete_point(point, per_case)
+
                 try:
-                    for i, point in enumerate(pending):
-                        complete_point(
-                            point,
-                            [
-                                futures[i * len(cases) + j].result()
-                                for j in range(len(cases))
-                            ],
-                        )
+                    for future in as_completed(futures):
+                        buffered[index_of[future]] = future.result()
+                        flush_ready()
                 except BaseException:
-                    # Surface a failed work unit promptly: without this the
-                    # with-block would run every queued task to completion
-                    # before the error reaches the caller.
+                    # Surface the failed unit promptly: cancel everything not
+                    # yet started, but drain units already running so every
+                    # point that fully finished ahead of the failure is still
+                    # persisted (the pool starts units in submission order,
+                    # so those form a prefix; the in-order flush guarantees
+                    # nothing *after* the failure is ever appended).
                     executor.shutdown(wait=False, cancel_futures=True)
+                    for index, future in enumerate(futures):
+                        if index in buffered:
+                            continue
+                        try:
+                            buffered[index] = future.result()
+                        except (CancelledError, Exception):
+                            continue
+                    try:
+                        flush_ready()
+                    except BaseException:
+                        # A secondary flush failure (e.g. the same progress
+                        # callback raising again) must not mask the original.
+                        pass
                     raise
 
         by_id = {record.point_id: record for record in existing + new_records}

@@ -1,0 +1,65 @@
+"""Elementwise transcendentals that are bit-identical to :mod:`math`.
+
+The vectorised geometry and shadowing layers (:mod:`repro.channel.scene`,
+:mod:`repro.channel.human`, :mod:`repro.channel.channel`) must reproduce the
+scalar reference implementations *to the bit* — the whole evaluation pipeline
+pins campaign scores by sha256.  NumPy's own ``np.exp`` / ``np.hypot`` /
+``np.arccos`` / ``**`` use SIMD kernels (or ``x*x`` strength reduction for
+squares) that differ from CPython's libm-backed :mod:`math` functions in the
+last ulp on this platform, so replacing a ``math.exp`` loop with ``np.exp``
+silently changes every downstream float.
+
+This module routes exactly those few transcendentals through
+:func:`numpy.frompyfunc`, i.e. the *same* libm calls the scalar code makes,
+applied elementwise over arrays.  All surrounding arithmetic (``+ - * /``,
+``min``/``max``/``clip``) is correctly rounded per IEEE-754 and therefore
+identical between NumPy and Python scalars; only the functions below need the
+exact route.  The cost is a Python-level call per element, which is fine for
+the small arrays these appear in (person-to-segment offsets, per-scene
+angles) — the heavy lifting stays in vectorised NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["exp", "hypot", "sin", "acos", "power"]
+
+_exp_ufunc = np.frompyfunc(math.exp, 1, 1)
+_hypot_ufunc = np.frompyfunc(math.hypot, 2, 1)
+_sin_ufunc = np.frompyfunc(math.sin, 1, 1)
+_acos_ufunc = np.frompyfunc(math.acos, 1, 1)
+_pow_ufunc = np.frompyfunc(lambda x, p: float(x) ** p, 2, 1)
+
+
+def exp(x: np.ndarray) -> np.ndarray:
+    """``math.exp`` applied elementwise (bit-identical to the scalar loop)."""
+    return _exp_ufunc(np.asarray(x, dtype=float)).astype(float)
+
+
+def hypot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``math.hypot`` applied elementwise (bit-identical to the scalar loop)."""
+    x, y = np.broadcast_arrays(np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+    return _hypot_ufunc(x, y).astype(float)
+
+
+def sin(x: np.ndarray) -> np.ndarray:
+    """``math.sin`` applied elementwise (bit-identical to the scalar loop)."""
+    return _sin_ufunc(np.asarray(x, dtype=float)).astype(float)
+
+
+def acos(x: np.ndarray) -> np.ndarray:
+    """``math.acos`` applied elementwise (bit-identical to the scalar loop)."""
+    return _acos_ufunc(np.asarray(x, dtype=float)).astype(float)
+
+
+def power(x: np.ndarray, exponent: float) -> np.ndarray:
+    """Python ``x ** exponent`` applied elementwise.
+
+    ``float.__pow__`` calls libm ``pow`` whereas ``np.ndarray.__pow__``
+    strength-reduces small integral exponents to repeated multiplication;
+    the two differ in the last ulp for a fraction of inputs.
+    """
+    return _pow_ufunc(np.asarray(x, dtype=float), float(exponent)).astype(float)

@@ -25,7 +25,7 @@ from repro.api import (
 )
 from repro.channel import ChannelSimulator, HumanBody, Link, Point, Room
 from repro.core.detector import BaselineDetector, DetectionResult
-from repro.csi import PacketCollector
+from repro.csi import CSITrace, PacketCollector
 from repro.experiments.scenarios import evaluation_cases
 from repro.utils.rng import ensure_rng
 
@@ -439,6 +439,29 @@ class TestMultiLinkMonitor:
             got = [e for e in events if e.link == link.name]
             assert [e.score for e in got] == [e.score for e in expected]
             assert [e.detected for e in got] == [e.detected for e in expected]
+
+    def test_list_subcarrier_grids_batch_cleanly(self, multi_links):
+        """Frame/trace validation accepts list grids; batch scoring must too."""
+        config = PipelineConfig(
+            detector="baseline", window_packets=6, calibration_packets=24
+        )
+        calibrations, windows = _per_link_data(multi_links)
+        as_list = {
+            name: CSITrace(
+                csi=trace.csi,
+                timestamps=trace.timestamps,
+                subcarrier_indices=list(trace.subcarrier_indices),
+                label=trace.label,
+            )
+            for name, trace in windows.items()
+        }
+        monitor = MultiLinkMonitor.from_config(config, multi_links)
+        monitor.calibrate(calibrations)
+        reference = MultiLinkMonitor.from_config(config, multi_links)
+        reference.calibrate(calibrations)
+        events = monitor.push_traces(as_list)
+        expected = reference.push_traces(windows)
+        assert [e.score for e in events] == [e.score for e in expected]
 
     def test_mixed_schemes_match_sequential(self, multi_links):
         """Non-batchable detectors fall back per link inside the same step."""

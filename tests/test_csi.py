@@ -102,6 +102,20 @@ class TestCSITrace:
         with pytest.raises(ValueError):
             CSITrace.from_frames([a, b])
 
+    def test_from_frames_explicit_timestamps_override_frames(self, rng):
+        frames = [CSIFrame(csi=_random_csi(rng), timestamp=i * 0.02) for i in range(4)]
+        explicit = np.array([1.0, 1.5, 2.25, 9.0])
+        trace = CSITrace.from_frames(frames, timestamps=explicit)
+        assert np.array_equal(trace.timestamps, explicit)
+        # Without the argument the frames' own timestamps are used.
+        default = CSITrace.from_frames(frames)
+        assert np.array_equal(default.timestamps, [0.0, 0.02, 0.04, 0.06])
+
+    def test_from_frames_timestamps_shape_checked(self, rng):
+        frames = [CSIFrame(csi=_random_csi(rng)) for _ in range(3)]
+        with pytest.raises(ValueError, match="timestamps"):
+            CSITrace.from_frames(frames, timestamps=np.zeros(2))
+
     def test_split(self, rng):
         trace = CSITrace(csi=_random_csi(rng, packets=10))
         chunks = trace.split(3)

@@ -34,6 +34,22 @@ def _failing_point_case(link, config, case_seed):
     return run_case(link, config, case_seed=case_seed)
 
 
+def _long_tailed_point_case(link, config, case_seed):
+    """Module-level (picklable) unit where the grid's first point is slowest.
+
+    With the as-completed collector every other point finishes (and is
+    buffered) while the first is still running, exercising the out-of-order
+    buffering plus in-order flush path end to end.
+    """
+    import time
+
+    if config.seed == 901:
+        time.sleep(0.5)
+    from repro.experiments.runner import run_case
+
+    return run_case(link, config, case_seed=case_seed)
+
+
 def tiny_base(**overrides) -> EvaluationConfig:
     """A minimal campaign config that still yields positives and negatives."""
     defaults = dict(
@@ -293,6 +309,53 @@ class TestSweepRunner:
         path = tmp_path / "parallel.jsonl"
         run_sweep(acceptance_spec, path, max_workers=4)
         assert path.read_bytes() == sequential_store_bytes
+
+    def test_failing_progress_callback_never_duplicates_records(self, tmp_path):
+        # A callback raising *after* its point's record hit the store must
+        # not cause the failure drain to replay the point: every point id
+        # appears at most once and the callback's error propagates.
+        spec = SweepSpec(
+            name="cb-fail",
+            base=tiny_base(),
+            axes=(SweepAxis("seed", (11, 12, 13)),),
+            cases=("case-1",),
+        )
+        calls = []
+
+        def progress(record):
+            calls.append(record.point_id)
+            if len(calls) == 1:
+                raise RuntimeError("callback boom")
+
+        path = tmp_path / "cb.jsonl"
+        with pytest.raises(RuntimeError, match="callback boom"):
+            run_sweep(spec, path, max_workers=2, progress=progress)
+        point_ids = [
+            json.loads(line)["point_id"]
+            for line in path.read_text().splitlines()
+        ]
+        assert len(point_ids) == len(set(point_ids)), "duplicate store records"
+        expected_order = [p.point_id for p in spec.expand()]
+        assert point_ids == expected_order[: len(point_ids)]
+
+    def test_long_tailed_grid_store_bytes_identical(self, tmp_path, monkeypatch):
+        # The slowest point leads the grid, so under the as-completed
+        # collector every later point completes out of order and must be
+        # buffered; the flushed store bytes still match the sequential run.
+        spec = SweepSpec(
+            name="long-tail",
+            base=tiny_base(),
+            axes=(SweepAxis("seed", (901, 902, 903, 904, 905)),),
+            cases=("case-1",),
+        )
+        monkeypatch.setattr(sweep_runner, "_run_point_case", _long_tailed_point_case)
+        sequential = tmp_path / "sequential.jsonl"
+        run_sweep(spec, sequential, max_workers=1)
+        parallel = tmp_path / "parallel.jsonl"
+        result = run_sweep(spec, parallel, max_workers=4)
+        assert parallel.read_bytes() == sequential.read_bytes()
+        # Records and executed order stay in point order as well.
+        assert result.executed == tuple(p.point_id for p in spec.expand())
 
     def test_resume_executes_only_remaining_points(
         self, acceptance_spec, sequential_store_bytes, tmp_path, monkeypatch
