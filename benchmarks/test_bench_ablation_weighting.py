@@ -9,10 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
 
-from repro.aoa.bartlett import BartlettEstimator
-from repro.core.detector import SubcarrierPathWeightingDetector
 from repro.core.thresholds import roc_curve
 from repro.experiments.runner import EvaluationConfig, run_case, run_evaluation
 from repro.experiments.scenarios import evaluation_cases

@@ -7,7 +7,6 @@ its accuracy with sub-second latency.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.figures import fig12_packet_sweep
 

@@ -15,7 +15,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.api import PipelineConfig
 from repro.core.multipath_factor import multipath_factor_trace

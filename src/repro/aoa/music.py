@@ -15,7 +15,6 @@ paper relies on to separate the LOS direction from the strongest reflection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 from scipy.signal import find_peaks

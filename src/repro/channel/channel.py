@@ -13,8 +13,8 @@ never needs to know whether the CSI came from hardware or from here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.channel.geometry import (
 )
 from repro.channel.human import HumanBody, attenuation_profile
 from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary
-from repro.channel.noise import ImpairmentModel
+from repro.channel.noise import ImpairmentDrawPlan, ImpairmentModel
 from repro.channel.propagation import PropagationModel
 from repro.channel.rays import Path, RayTracer, assign_angles_of_arrival
 from repro.channel.scene import PathBundle
@@ -311,12 +311,16 @@ class ChannelSimulator:
             )
 
         # ---- static paths --------------------------------------------------
-        # Accumulate path by path (the scalar synthesis order); each scene's
-        # floating-point accumulation sequence is unchanged.
-        for p in range(bundle.num_paths):
-            amp = amp0[p][None, :] * static_gain[:, p][:, None]
-            base = amp * phase_exp[p][None, :]
-            cfr += base[:, None, :] * steer_exp[p][None, :, :]
+        # All per-path contributions in one broadcast product, summed over
+        # the path axis with ``np.add.reduce`` — which accumulates along a
+        # non-contiguous axis strictly in order, so each scene's floating-
+        # point accumulation sequence matches the historical per-path loop
+        # bit-for-bit (pinned by the scene parity suite).
+        amp = amp0[None, :, :] * static_gain[:, :, None]
+        base = amp * phase_exp[None, :, :]
+        cfr += np.add.reduce(
+            base[:, :, None, :] * steer_exp[None, :, :, :], axis=1
+        )
 
         if not bodies:
             return cfr
@@ -424,6 +428,21 @@ class ChannelSimulator:
         """
         rng = ensure_rng(seed) if seed is not None else self._rng
         return self.impairments.apply(clean, self.subcarrier_indices, seed=rng)
+
+    def impairment_plan(
+        self, cleans: np.ndarray, *, num_packets: int | None = None
+    ) -> "ImpairmentDrawPlan":
+        """A draw-order-compatible impairment plan on this simulator's grid.
+
+        Thin wrapper over :meth:`ImpairmentModel.draw_plan` with the
+        simulator's subcarrier indices; used by the collector to pre-draw
+        per-packet randomness (interleaved with its loss process) and impair
+        a whole window in one vectorised pass, byte-identical to sequential
+        :meth:`impair` calls.
+        """
+        return self.impairments.draw_plan(
+            cleans, self.subcarrier_indices, num_packets=num_packets
+        )
 
     def sample_packet(
         self,

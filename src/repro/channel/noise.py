@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils import exactmath
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -188,6 +189,41 @@ class ImpairmentModel:
 
         return noisy
 
+    def draw_plan(
+        self,
+        cleans: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        *,
+        num_packets: int | None = None,
+    ) -> "ImpairmentDrawPlan":
+        """A draw-order-compatible plan for a burst of per-packet impairments.
+
+        Unlike :meth:`apply_batch` (which reorders the draws per impairment
+        and therefore produces *different* values than sequential
+        :meth:`apply` calls), the plan keeps the exact historical RNG
+        consumption order: the caller invokes
+        :meth:`ImpairmentDrawPlan.draw_next` once per received packet —
+        interleaved with its own draws, for example a collector's loss
+        process — and every packet's draws happen in precisely the sequence
+        :meth:`apply` would make them.  The heavy array arithmetic then runs
+        once for the whole burst in :meth:`ImpairmentDrawPlan.apply`,
+        bit-identical to the sequential path.
+
+        Parameters
+        ----------
+        cleans:
+            Either one clean CFR of shape ``(antennas, subcarriers)`` (a
+            static scene; *num_packets* is required) or a stack of candidate
+            CFRs of shape ``(candidates, antennas, subcarriers)`` (for
+            example one per trajectory position; at most one packet per
+            candidate).
+        subcarrier_indices:
+            Intel-5300 subcarrier indices (for the SFO phase slope).
+        num_packets:
+            Plan capacity for the single-CFR form.
+        """
+        return ImpairmentDrawPlan(self, cleans, subcarrier_indices, num_packets=num_packets)
+
     def noiseless(self) -> "ImpairmentModel":
         """A copy of this model with every impairment switched off.
 
@@ -201,3 +237,163 @@ class ImpairmentModel:
             agc_std_db=0.0,
             antenna_phase_offsets=False,
         )
+
+
+class ImpairmentDrawPlan:
+    """Pre-drawn per-packet impairment randomness with the historical order.
+
+    Built by :meth:`ImpairmentModel.draw_plan`.  The plan splits
+    :meth:`ImpairmentModel.apply` into its two halves: the *draws* (which
+    must consume the generator in exactly the historical per-packet order,
+    interleaved with any caller-side draws such as a loss process) and the
+    *application* (pure array arithmetic with no randomness, which can run
+    once for the whole burst).  Every multiplication happens in the same
+    order and with bit-identical factors as the sequential path — the AGC
+    gain is routed through :func:`repro.utils.exactmath.power_elementwise`
+    because NumPy's array ``**`` differs from the scalar libm ``pow`` in the
+    last ulp — so ``plan.apply()`` is byte-identical to stacking sequential
+    :meth:`ImpairmentModel.apply` calls.
+    """
+
+    def __init__(
+        self,
+        model: ImpairmentModel,
+        cleans: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        *,
+        num_packets: int | None = None,
+    ) -> None:
+        cleans = np.asarray(cleans, dtype=complex)
+        if cleans.ndim == 2:
+            if num_packets is None:
+                raise ValueError(
+                    "num_packets is required when cleans has shape (antennas, subcarriers)"
+                )
+            if num_packets < 1:
+                raise ValueError(f"num_packets must be >= 1, got {num_packets}")
+            candidates = cleans[None, :, :]
+            capacity = num_packets
+        elif cleans.ndim == 3:
+            if num_packets is not None and num_packets != cleans.shape[0]:
+                raise ValueError(
+                    f"num_packets={num_packets} conflicts with a stack of "
+                    f"{cleans.shape[0]} candidate CFRs"
+                )
+            candidates = cleans
+            capacity = cleans.shape[0]
+        else:
+            raise ValueError(
+                "cleans must have shape (antennas, subcarriers) or "
+                f"(candidates, antennas, subcarriers), got {cleans.shape}"
+            )
+        _, antennas, subcarriers = candidates.shape
+        indices = np.asarray(subcarrier_indices, dtype=float)
+        if indices.shape != (subcarriers,):
+            raise ValueError(
+                f"subcarrier_indices has shape {indices.shape}, expected ({subcarriers},)"
+            )
+        self._model = model
+        self._candidates = candidates
+        self._indices = indices
+        self._antennas = antennas
+        self._subcarriers = subcarriers
+        self._count = 0
+        self._chosen = np.empty(capacity, dtype=np.intp)
+        self._phases = np.empty(capacity) if model.cfo_phase else None
+        self._slopes = np.empty(capacity) if model.sfo_slope_std > 0 else None
+        self._offsets = (
+            np.empty((capacity, antennas))
+            if model.antenna_phase_offsets and antennas > 1
+            else None
+        )
+        self._gains = np.empty(capacity) if model.agc_std_db > 0 else None
+        # Per-candidate noise scale, exactly as apply() derives it: the noise
+        # power tracks each candidate's own clean mean subcarrier power, and
+        # a zero-power candidate draws (and receives) no noise at all.
+        if np.isfinite(model.snr_db):
+            mean_power = np.array(
+                [float(np.mean(np.abs(c) ** 2)) for c in candidates]
+            )
+            self._noise_scale = np.array(
+                [
+                    np.sqrt((m / (10.0 ** (model.snr_db / 10.0))) / 2.0) if m > 0 else 0.0
+                    for m in mean_power
+                ]
+            )
+            self._noise_active = mean_power > 0
+            self._noise = np.zeros(
+                (capacity, 2, antennas, subcarriers)
+            ) if bool(self._noise_active.any()) else None
+        else:
+            self._noise_scale = None
+            self._noise_active = None
+            self._noise = None
+
+    @property
+    def num_drawn(self) -> int:
+        """How many packets have been drawn so far."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of packets this plan can hold."""
+        return self._chosen.shape[0]
+
+    def draw_next(self, rng: np.random.Generator, candidate: int = 0) -> None:
+        """Draw one packet's impairments for *candidate* (historical order).
+
+        Makes exactly the generator calls :meth:`ImpairmentModel.apply`
+        would make for this packet — same distributions, same sizes, same
+        sequence — and nothing else, so interleaving :meth:`draw_next` with
+        caller-side draws reproduces the sequential stream byte-for-byte.
+        """
+        p = self._count
+        if p >= self._chosen.shape[0]:
+            raise RuntimeError(f"plan capacity {self._chosen.shape[0]} exhausted")
+        if not 0 <= candidate < self._candidates.shape[0]:
+            raise IndexError(f"candidate {candidate} out of range")
+        self._chosen[p] = candidate
+        if self._phases is not None:
+            self._phases[p] = rng.uniform(0.0, 2.0 * np.pi)
+        if self._slopes is not None:
+            self._slopes[p] = rng.normal(0.0, self._model.sfo_slope_std)
+        if self._offsets is not None:
+            self._offsets[p] = rng.normal(0.0, 0.1, size=self._antennas)
+        if self._gains is not None:
+            self._gains[p] = rng.normal(0.0, self._model.agc_std_db)
+        if self._noise is not None and self._noise_active[candidate]:
+            scale = self._noise_scale[candidate]
+            shape = (self._antennas, self._subcarriers)
+            self._noise[p, 0] = rng.normal(0.0, scale, size=shape)
+            self._noise[p, 1] = rng.normal(0.0, scale, size=shape)
+        self._count += 1
+
+    def apply(self) -> np.ndarray:
+        """The impaired burst, shape ``(num_drawn, antennas, subcarriers)``.
+
+        Pure array arithmetic over the pre-drawn randomness; the in-place
+        multiply sequence matches :meth:`ImpairmentModel.apply` factor for
+        factor, so the result is bit-identical to the sequential path.
+        """
+        n = self._count
+        noisy = self._candidates[self._chosen[:n]]
+        if self._phases is not None:
+            noisy *= np.exp(1j * self._phases[:n])[:, None, None]
+        if self._slopes is not None:
+            noisy *= np.exp(
+                1j * self._slopes[:n, None, None] * self._indices[None, None, :]
+            )
+        if self._offsets is not None:
+            noisy *= np.exp(1j * self._offsets[:n])[:, :, None]
+        if self._gains is not None:
+            noisy *= exactmath.power_elementwise(10.0, self._gains[:n] / 20.0)[
+                :, None, None
+            ]
+        if self._noise is not None:
+            # Only packets whose candidate has noise enabled receive the add;
+            # apply() skips the += entirely for zero-power cleans, and adding
+            # an all-zero array is not a no-op at the bit level (-0.0 + 0.0).
+            rows = np.flatnonzero(self._noise_active[self._chosen[:n]])
+            if rows.size:
+                noisy[rows] += self._noise[rows, 0] + 1j * self._noise[rows, 1]
+        return noisy

@@ -14,9 +14,8 @@ reflection path) are layered on top by :mod:`repro.channel.human` and
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
 
 from repro.channel.geometry import Point, Room, Segment, Wall, angle_between
 from repro.channel.materials import DEFAULT_MATERIALS, MaterialLibrary

@@ -24,7 +24,6 @@ antennas, exactly as the paper does "for fair comparison".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 from weakref import WeakKeyDictionary
 
 import numpy as np

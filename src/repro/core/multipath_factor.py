@@ -29,15 +29,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.channel.constants import subcarrier_frequencies
-from repro.channel.ofdm import dominant_tap_power
+from repro.channel.ofdm import dominant_tap_power_batch
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
+
+#: Cached ``f_k^{-2}`` apportionment weights of the default Intel 5300 grid.
+#: The grid is a module-level constant, so the weight vector is a pure
+#: function of it; computing it once removes a per-call ``**-2.0`` + sum +
+#: divide from the hottest loop of the campaign profile.  Custom ``frequencies``
+#: arguments always take the uncached path below.
+_DEFAULT_APPORTIONMENT: np.ndarray | None = None
+
+
+def _apportionment_weights(frequencies: np.ndarray | None) -> np.ndarray:
+    """The normalised ``f_k^{-2}`` weight vector of Eq. 10.
+
+    ``None`` resolves to the default Intel 5300 grid and is cached (keyed on
+    that grid being the module constant); an explicit *frequencies* array is
+    recomputed on every call with exactly the historical expressions.
+    """
+    global _DEFAULT_APPORTIONMENT
+    if frequencies is None:
+        if _DEFAULT_APPORTIONMENT is None:
+            freqs = subcarrier_frequencies()
+            inverse_f2 = freqs**-2.0
+            _DEFAULT_APPORTIONMENT = inverse_f2 / inverse_f2.sum()
+        return _DEFAULT_APPORTIONMENT
+    freqs = np.asarray(frequencies, dtype=float)
+    inverse_f2 = freqs**-2.0
+    return inverse_f2 / inverse_f2.sum()
 
 
 def los_power_per_subcarrier(
     csi_row: np.ndarray, frequencies: np.ndarray | None = None
 ) -> np.ndarray:
     """Apportion the dominant-tap power across subcarriers (Eq. 10).
+
+    Thin wrapper over :func:`los_power_per_subcarrier_batch` with a one-row
+    batch; bit-identical to the historical scalar implementation.
 
     Parameters
     ----------
@@ -55,25 +84,67 @@ def los_power_per_subcarrier(
     csi_row = np.asarray(csi_row)
     if csi_row.ndim != 1:
         raise ValueError(f"csi_row must be 1-D, got shape {csi_row.shape}")
-    freqs = (
-        np.asarray(frequencies, dtype=float)
-        if frequencies is not None
-        else subcarrier_frequencies()
-    )
-    if freqs.shape != csi_row.shape:
+    return los_power_per_subcarrier_batch(csi_row[None, :], frequencies)[0]
+
+
+def los_power_per_subcarrier_batch(
+    csi_rows: np.ndarray, frequencies: np.ndarray | None = None
+) -> np.ndarray:
+    """Eq. 10 for many CSI rows at once.
+
+    One stacked IFFT (:func:`~repro.channel.ofdm.dominant_tap_power_batch`)
+    followed by a broadcast multiply with the cached ``f_k^{-2}`` weights;
+    every row is bit-identical to :func:`los_power_per_subcarrier` on its own.
+
+    Parameters
+    ----------
+    csi_rows:
+        Complex CSI rows, shape ``(num_rows, num_subcarriers)``.
+    frequencies:
+        Absolute subcarrier frequencies shared by all rows; defaults to the
+        Intel 5300 grid (whose weight vector is cached).
+
+    Returns
+    -------
+    numpy.ndarray
+        LOS power per subcarrier, shape ``(num_rows, num_subcarriers)``.
+    """
+    csi_rows = np.asarray(csi_rows)
+    if csi_rows.ndim != 2:
         raise ValueError(
-            f"frequencies shape {freqs.shape} does not match csi shape {csi_row.shape}"
+            f"csi_rows must have shape (rows, subcarriers), got {csi_rows.shape}"
         )
-    total_los_power = dominant_tap_power(csi_row)
-    inverse_f2 = freqs**-2.0
-    weights = inverse_f2 / inverse_f2.sum()
-    return weights * total_los_power
+    if frequencies is not None:
+        # Validate before computing: a malformed custom grid must raise here,
+        # not emit ``**-2.0`` warnings first (the historical check order).
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.shape != csi_rows.shape[-1:]:
+            raise ValueError(
+                f"frequencies shape {frequencies.shape} does not match csi shape "
+                f"{csi_rows.shape[-1:]}"
+            )
+        weights = _apportionment_weights(frequencies)
+    else:
+        weights = _apportionment_weights(None)
+        # Guard the default grid too: rows of the wrong subcarrier count must
+        # fail with the historical message, not broadcast to (rows, 30).
+        if weights.shape != csi_rows.shape[-1:]:
+            raise ValueError(
+                f"frequencies shape {weights.shape} does not match csi shape "
+                f"{csi_rows.shape[-1:]}"
+            )
+    total_los_power = dominant_tap_power_batch(csi_rows)
+    return weights[None, :] * total_los_power[:, None]
 
 
 def multipath_factor(
     csi: np.ndarray | CSIFrame, frequencies: np.ndarray | None = None
 ) -> np.ndarray:
     """Per-subcarrier multipath factor ``mu_k`` of one packet (Eq. 11).
+
+    All antennas are processed in one :func:`multipath_factor_batch` call
+    (the historical per-antenna Python loop is gone); the result is
+    bit-identical to the per-antenna computation.
 
     Parameters
     ----------
@@ -101,13 +172,43 @@ def multipath_factor(
         raise ValueError(
             f"csi must have shape (antennas, subcarriers), got {matrix.shape}"
         )
-    factors = np.empty(matrix.shape, dtype=float)
-    for antenna in range(matrix.shape[0]):
-        row = matrix[antenna]
-        los_power = los_power_per_subcarrier(row, frequencies)
-        total_power = np.abs(row) ** 2
-        factors[antenna] = los_power / np.maximum(total_power, 1e-30)
-    return factors
+    return multipath_factor_batch(matrix, frequencies)
+
+
+def multipath_factor_batch(
+    csi_rows: np.ndarray, frequencies: np.ndarray | None = None
+) -> np.ndarray:
+    """Eq. 11 for a stack of CSI rows in one vectorised pass.
+
+    The workhorse behind :func:`multipath_factor` and
+    :func:`multipath_factor_trace` (and through them the subcarrier
+    weighting and detector scoring): one stacked IFFT for the LOS powers,
+    one broadcast division for the ratios.  Bit-identical to the historical
+    per-row loop, which the parity suite pins.
+
+    Parameters
+    ----------
+    csi_rows:
+        Complex CSI of shape ``(..., num_subcarriers)``; leading axes (for
+        example packets and antennas) are flattened for the batch and
+        restored on output.
+    frequencies:
+        Absolute subcarrier frequencies; defaults to the Intel 5300 grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        Multipath factors with the same shape as *csi_rows*.
+    """
+    csi_rows = np.asarray(csi_rows)
+    if csi_rows.ndim < 1:
+        raise ValueError("csi_rows must have at least one dimension")
+    shape = csi_rows.shape
+    rows = np.ascontiguousarray(csi_rows).reshape(-1, shape[-1])
+    los_power = los_power_per_subcarrier_batch(rows, frequencies)
+    total_power = np.abs(rows) ** 2
+    factors = los_power / np.maximum(total_power, 1e-30)
+    return factors.reshape(shape)
 
 
 def multipath_factor_trace(
@@ -115,12 +216,14 @@ def multipath_factor_trace(
 ) -> np.ndarray:
     """Multipath factors for every packet of a trace.
 
+    All ``packets * antennas`` rows go through one stacked IFFT
+    (:func:`multipath_factor_batch`) instead of the historical per-packet /
+    per-antenna loop — the dominant cost of the campaign profile before this
+    layer was batched.
+
     Returns an array of shape ``(num_packets, num_antennas, num_subcarriers)``.
     """
-    factors = np.empty(trace.csi.shape, dtype=float)
-    for p in range(trace.num_packets):
-        factors[p] = multipath_factor(trace.csi[p], frequencies)
-    return factors
+    return multipath_factor_batch(trace.csi, frequencies)
 
 
 def temporal_mean_factor(factors: np.ndarray) -> np.ndarray:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.multipath_factor import (
+    multipath_factor_batch,
     multipath_factor_trace,
     stability_ratio,
     temporal_mean_factor,
@@ -131,7 +132,13 @@ class SubcarrierWeighting:
         return SubcarrierWeights(weights=weights, mean_factor=mean_factor, ratio=ratio)
 
     def weights_from_trace(self, trace: CSITrace) -> SubcarrierWeights:
-        """Weights from a window of M CSI packets (the monitoring window)."""
+        """Weights from a window of M CSI packets (the monitoring window).
+
+        All ``packets * antennas`` multipath factors of the window come from
+        one batched :func:`~repro.core.multipath_factor.multipath_factor_trace`
+        call (a single stacked IFFT), the hottest step of the detector
+        scoring path.
+        """
         factors = multipath_factor_trace(trace, self.frequencies)
         return self.weights_from_factors(factors)
 
@@ -142,9 +149,7 @@ class SubcarrierWeighting:
             raise ValueError(
                 f"csi must have shape (antennas, subcarriers), got {csi.shape}"
             )
-        factors = multipath_factor_trace(
-            CSITrace(csi=csi[None, :, :]), self.frequencies
-        )
+        factors = multipath_factor_batch(csi[None, :, :], self.frequencies)
         mean_factor = factors[0]
         raw = np.abs(mean_factor)
         weights = _normalize_per_antenna(raw)

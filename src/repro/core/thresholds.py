@@ -13,6 +13,13 @@ from typing import Sequence
 
 import numpy as np
 
+#: NumPy renamed the trapezoidal integrator ``np.trapz`` -> ``np.trapezoid``
+#: in 2.0; the package declares ``numpy>=1.24``, which the oldest-supported
+#: NumPy CI job enforces, so resolve whichever name this NumPy provides.
+_trapezoid = getattr(np, "trapezoid", None)
+if _trapezoid is None:  # pragma: no cover - numpy < 2.0
+    _trapezoid = np.trapz
+
 
 @dataclass(frozen=True)
 class RocCurve:
@@ -53,7 +60,7 @@ class RocCurve:
         # over the full FPR axis.
         fpr = np.concatenate(([0.0], fpr, [1.0]))
         tpr = np.concatenate(([0.0], tpr, [1.0]))
-        return float(np.trapezoid(tpr, fpr))
+        return float(_trapezoid(tpr, fpr))
 
     def balanced_point(self) -> tuple[float, float, float]:
         """(threshold, TPR, FPR) maximising the balanced accuracy.

@@ -22,6 +22,8 @@ parity tests pin down.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.csi.format import CSIFrame
@@ -34,6 +36,19 @@ try:  # pragma: no cover - import guard exercised implicitly
         _umath_linalg, "lstsq_m", None
     )
 except Exception:  # pragma: no cover - numpy layout change
+    _LSTSQ_GUFUNC = None
+
+# Deterministic escape hatch for CI: setting REPRO_FORCE_POLYFIT_FALLBACK
+# (to anything but an explicit off value) makes the batched fits take the
+# per-row np.polyfit path even when the private gufunc is available, so the
+# fallback is exercised on every NumPy rather than only on layouts where the
+# gufunc has moved.
+if os.environ.get("REPRO_FORCE_POLYFIT_FALLBACK", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "no",
+):
     _LSTSQ_GUFUNC = None
 
 

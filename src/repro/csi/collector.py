@@ -117,30 +117,33 @@ class PacketCollector:
         how a fixed-size capture is gathered on hardware.
 
         The scene is static within the capture, so the clean CFR is
-        synthesized once and only the per-packet impairments run in the loop;
-        the RNG draw order (loss draw, then impairment draws, per ping) is
-        identical to sampling every packet from scratch, making the trace
-        bit-identical to the per-packet path at a fraction of the cost.
+        synthesized once; the acquisition loop only *draws* the per-packet
+        randomness (loss draw, then impairment draws, per ping — exactly the
+        historical RNG consumption order, via
+        :meth:`~repro.channel.noise.ImpairmentModel.draw_plan`) and the
+        impairment arithmetic runs once for the whole window, array at a
+        time.  Traces are bit-identical to sampling every packet from
+        scratch at a fraction of the cost.
         """
         if num_packets < 1:
             raise ValueError(f"num_packets must be >= 1, got {num_packets}")
         interval = 1.0 / self.packet_rate_hz
         clean = self.simulator.clean_cfr(humans)
-        frames = []
-        timestamps = []
+        plan = self.simulator.impairment_plan(clean, num_packets=num_packets)
+        timestamps = np.empty(num_packets, dtype=float)
         t = start_time
         consecutive_losses = 0
-        while len(frames) < num_packets:
+        while plan.num_drawn < num_packets:
             t += interval
             if self._ping_lost(consecutive_losses):
                 consecutive_losses += 1
                 continue
             consecutive_losses = 0
-            frames.append(self.simulator.impair(clean, seed=self._rng))
-            timestamps.append(t)
+            timestamps[plan.num_drawn] = t
+            plan.draw_next(self._rng)
         return CSITrace(
-            csi=np.asarray(frames),
-            timestamps=np.asarray(timestamps),
+            csi=plan.apply(),
+            timestamps=timestamps,
             label=label,
         )
 
@@ -175,11 +178,13 @@ class PacketCollector:
 
         All per-position clean CFRs are synthesised up front in one
         :meth:`~repro.channel.channel.ChannelSimulator.clean_cfr_batch` pass
-        (the background bodies are shared across scenes).  Clean synthesis
-        consumes no randomness, so the per-ping draw order (loss draw, then
-        impairment draws) is exactly the historical one and the trace is
-        bit-identical to the per-position loop — a lost ping's pre-computed
-        CFR is simply discarded, just as the loop never computed it.
+        (the background bodies are shared across scenes), and the per-packet
+        impairments are batched the same way as :meth:`collect`: the loop
+        only draws randomness (loss draw, then impairment draws, per ping —
+        the exact historical order) and the arithmetic runs once for all
+        received packets.  The trace is bit-identical to the per-position
+        loop — a lost ping's pre-computed CFR is simply discarded, just as
+        the loop never computed it.
         """
         if not positions:
             raise ValueError("positions must contain at least one point")
@@ -192,20 +197,20 @@ class PacketCollector:
             [template.moved_to(position), *background] for position in positions
         ]
         cleans = self.simulator.clean_cfr_batch(scenes)
-        frames = []
+        plan = self.simulator.impairment_plan(cleans)
         timestamps = []
         t = start_time
         for i in range(len(scenes)):
             t += interval
             if self._ping_lost(0):
                 continue
-            frames.append(self.simulator.impair(cleans[i], seed=self._rng))
+            plan.draw_next(self._rng, candidate=i)
             timestamps.append(t)
-        if not frames:
+        if plan.num_drawn == 0:
             raise RuntimeError(
                 f"every ping of the {len(positions)}-position walk was lost "
                 f"(loss_probability={self.loss_probability}); no CSI collected"
             )
         return CSITrace(
-            csi=np.asarray(frames), timestamps=np.asarray(timestamps), label=label
+            csi=plan.apply(), timestamps=np.asarray(timestamps), label=label
         )

@@ -9,13 +9,12 @@ per-subcarrier RSS).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.channel.constants import (
     INTEL5300_SUBCARRIER_INDICES,
-    NUM_SUBCARRIERS,
     subcarrier_frequencies,
 )
 from repro.utils.convert import power_to_db

@@ -20,12 +20,14 @@ from repro.aoa.music import MusicEstimator
 from repro.channel.channel import ChannelSimulator
 from repro.channel.human import HumanBody
 from repro.channel.noise import ImpairmentModel
-from repro.core.fitting import LogFit, fit_log_curve, fit_per_subcarrier
-from repro.core.multipath_factor import multipath_factor, multipath_factor_trace
-from repro.core.thresholds import detection_rates_at_threshold
+from repro.core.fitting import fit_log_curve, fit_per_subcarrier
+from repro.core.multipath_factor import (
+    multipath_factor,
+    multipath_factor_batch,
+    multipath_factor_trace,
+)
 from repro.csi.collector import PacketCollector
 from repro.csi.rssi import trace_rss_change_db
-from repro.csi.trace import CSITrace
 from repro.experiments.runner import (
     EvaluationConfig,
     EvaluationResult,
@@ -36,11 +38,8 @@ from repro.experiments.scenarios import (
     classroom_scenario,
     corner_link_scenario,
     evaluation_cases,
-    grid_angle_to_receiver_deg,
-    human_grid,
 )
 from repro.experiments.workloads import static_location_set, walking_trajectory
-from repro.utils.rng import ensure_rng
 from repro.utils.stats import ecdf
 
 
@@ -73,15 +72,22 @@ def _location_measurements(
     collector, link = _classroom_collector(seed)
     baseline = collector.collect_empty(num_packets=max(50, packets_per_location))
     locations = static_location_set(link, count=num_locations, seed=seed + 2)
+    traces = [
+        collector.collect(HumanBody(position=position), num_packets=packets_per_location)
+        for position in locations
+    ]
     rss_change = np.empty((num_locations, baseline.num_subcarriers))
-    factors = np.empty_like(rss_change)
-    for i, position in enumerate(locations):
-        trace = collector.collect(
-            HumanBody(position=position), num_packets=packets_per_location
-        )
-        change = trace_rss_change_db(trace, baseline).mean(axis=0)
-        rss_change[i] = change[0]
-        factors[i] = multipath_factor_trace(trace).mean(axis=0)[0]
+    for i, trace in enumerate(traces):
+        rss_change[i] = trace_rss_change_db(trace, baseline).mean(axis=0)[0]
+    # One stacked IFFT for every (location, packet, antenna) row; the per-
+    # location mean over its own packet block is bit-identical to the
+    # historical per-trace computation.
+    stacked = np.concatenate([trace.csi for trace in traces], axis=0)
+    factors = (
+        multipath_factor_batch(stacked)
+        .reshape(num_locations, packets_per_location, *traces[0].csi.shape[1:])
+        .mean(axis=1)[:, 0]
+    )
     return {
         "rss_change_db": rss_change,
         "multipath_factor": factors,

@@ -10,7 +10,7 @@ receiver (Fig. 9), by angle (Fig. 11) and by monitoring window size
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 

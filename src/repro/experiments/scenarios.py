@@ -20,7 +20,7 @@ the runner and figures sample the same locations the paper does.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.channel.channel import Link
 from repro.channel.geometry import Point, Room, Segment

@@ -17,9 +17,7 @@ These generators reproduce the data-collection protocol of the paper:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,13 +25,14 @@ import math
 
 import numpy as np
 
-__all__ = ["exp", "hypot", "sin", "acos", "power"]
+__all__ = ["exp", "hypot", "sin", "acos", "power", "power_elementwise"]
 
 _exp_ufunc = np.frompyfunc(math.exp, 1, 1)
 _hypot_ufunc = np.frompyfunc(math.hypot, 2, 1)
 _sin_ufunc = np.frompyfunc(math.sin, 1, 1)
 _acos_ufunc = np.frompyfunc(math.acos, 1, 1)
 _pow_ufunc = np.frompyfunc(lambda x, p: float(x) ** p, 2, 1)
+_pow_both_ufunc = np.frompyfunc(lambda x, p: float(x) ** float(p), 2, 1)
 
 
 def exp(x: np.ndarray) -> np.ndarray:
@@ -63,3 +64,15 @@ def power(x: np.ndarray, exponent: float) -> np.ndarray:
     the two differ in the last ulp for a fraction of inputs.
     """
     return _pow_ufunc(np.asarray(x, dtype=float), float(exponent)).astype(float)
+
+
+def power_elementwise(x: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Python ``x ** p`` with base *and* exponent elementwise (libm route).
+
+    Like :func:`power` but broadcasting over both arguments; used where a
+    scalar reference computes ``base ** exponent`` per packet with Python
+    floats (for example the AGC gain ``10.0 ** (gain_db / 20.0)``) and the
+    batch layer has a vector of exponents.
+    """
+    x, p = np.broadcast_arrays(np.asarray(x, dtype=float), np.asarray(p, dtype=float))
+    return _pow_both_ufunc(x, p).astype(float)

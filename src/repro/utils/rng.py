@@ -8,7 +8,7 @@ of an experiment deterministically derives the seeds of every sub-component.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -7,7 +7,6 @@ the multi-link monitor (vectorized scoring equivalence).
 
 from __future__ import annotations
 
-import dataclasses
 import json
 
 import numpy as np
@@ -15,7 +14,6 @@ import pytest
 
 from repro.api import (
     DEFAULT_REGISTRY,
-    DetectionEvent,
     DetectorRegistry,
     MultiLinkMonitor,
     PipelineConfig,
@@ -595,7 +593,7 @@ class TestCliPipeline:
             )
             == 0
         )
-        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
         assert len(lines) == 2
         events = [json.loads(line) for line in lines]
         assert events[0]["occupied"] is False and events[1]["occupied"] is True
@@ -618,7 +616,11 @@ class TestCliPipeline:
             )
         )
         assert main(["--config", str(path), "pipeline", "--windows", "2"]) == 0
-        events = [json.loads(l) for l in capsys.readouterr().out.splitlines() if l.strip()]
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
         assert all(e["window_packets"] == 8 for e in events)
 
     def test_pipeline_unknown_case(self, capsys):

@@ -5,15 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.channel import (
-    ChannelSimulator,
-    HumanBody,
-    ImpairmentModel,
-    Link,
-    Point,
-    Room,
-    UniformLinearArray,
-)
+from repro.channel import ChannelSimulator, HumanBody, ImpairmentModel, Link, Point
 from repro.utils.convert import power_to_db
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.channel import HumanBody, Point
+from repro.channel import Point
 from repro.channel.constants import INTEL5300_SUBCARRIER_INDICES
 from repro.csi import (
     CSIFrame,

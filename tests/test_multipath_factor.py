@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.channel import ChannelSimulator, HumanBody, ImpairmentModel, Link, Point, Room
+from repro.channel import Point
 from repro.channel.constants import subcarrier_frequencies
 from repro.channel.ofdm import synthesize_cfr
 from repro.channel.rays import Path
@@ -16,7 +16,7 @@ from repro.core.multipath_factor import (
     stability_ratio,
     temporal_mean_factor,
 )
-from repro.csi import CSIFrame, CSITrace
+from repro.csi import CSIFrame
 
 
 def _los_only_cfr() -> np.ndarray:

@@ -9,7 +9,6 @@ contract down so future perf work cannot silently change the numbers.
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.channel.constants import CHANNEL_11_CENTER_HZ, subcarrier_frequencies
+from repro.channel.constants import subcarrier_frequencies
 from repro.channel.geometry import Point
 from repro.channel.ofdm import synthesize_cfr
 from repro.channel.propagation import PropagationModel

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.channel.geometry import Point, Segment
+from repro.channel.geometry import Segment
 from repro.experiments.scenarios import (
     Scenario,
     classroom_scenario,

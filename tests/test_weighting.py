@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.aoa.bartlett import BartlettEstimator
 from repro.aoa.music import PseudoSpectrum
 from repro.core.path_weighting import PathWeighting, uniform_path_weighting
 from repro.core.subcarrier_weighting import SubcarrierWeighting, SubcarrierWeights
