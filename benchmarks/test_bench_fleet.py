@@ -1,0 +1,56 @@
+"""Perf benchmark: a 1,000-link fleet through the cross-link batch scheduler.
+
+The fleet engine merges per-link Poisson arrival streams into one
+event-ordered schedule and flushes ready windows across links through the
+shared vectorized batch scorer.  This benchmark runs a 1,000-link
+heterogeneous population (normal/busy/abusive rate classes) end to end and
+prints the service-level numbers the README quotes: scheduler throughput in
+windows/sec plus p50/p99 arrival-to-emission latency.  The event stream is
+deterministic, so the run also doubles as a smoke check that the digest is
+stable across CI pushes.
+"""
+
+from __future__ import annotations
+
+from repro.api import PipelineConfig
+from repro.fleet import FleetConfig, run_fleet
+
+
+def fleet_config() -> FleetConfig:
+    """1,000 concurrent links over 2 simulated seconds, sized for CI."""
+    return FleetConfig(
+        links=1000,
+        duration_s=2.0,
+        seed=7,
+        batch_windows=64,
+        pool_packets=40,
+        pipeline=PipelineConfig(
+            detector="baseline",
+            window_packets=10,
+            calibration_packets=30,
+        ),
+    )
+
+
+def test_fleet_1000_links_batched_scheduler(benchmark):
+    """Wall-clock of a 1,000-link fleet run (traffic synthesis + scheduling)."""
+    config = fleet_config()
+
+    report = benchmark.pedantic(lambda: run_fleet(config), rounds=1, iterations=1)
+
+    assert report.links == 1000
+    assert report.windows_scored > 1000  # every rate class contributes windows
+    assert report.latency_p50_s <= report.latency_p99_s
+    print("\n=== Fleet 1000-link smoke ===")
+    print(f"arrivals={report.arrivals} windows={report.windows_scored}")
+    print(f"per_class={report.per_class}")
+    print(
+        f"windows/sec={report.windows_per_sec:.0f} "
+        f"arrivals/sec={report.arrivals_per_sec:.0f}"
+    )
+    print(
+        f"latency p50={report.latency_p50_s * 1e3:.3f}ms "
+        f"p99={report.latency_p99_s * 1e3:.3f}ms"
+    )
+    print(f"setup={report.setup_s:.2f}s schedule={report.elapsed_s:.2f}s")
+    print(f"event_digest={report.event_digest()}")

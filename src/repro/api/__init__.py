@@ -17,6 +17,11 @@ the examples and future services) construct and drive detection:
 * :mod:`repro.sweep` (re-exported here) — declarative :class:`SweepSpec`
   parameter sweeps over evaluation campaigns, executed deterministically by
   :class:`SweepRunner` into a resumable :class:`SweepStore`.
+* :mod:`repro.fleet` (re-exported here) — fleet-scale streaming: synthetic
+  Poisson traffic over thousands of heterogeneous links, an event-ordered
+  cross-link batch scheduler, and :func:`run_fleet` producing a
+  :class:`FleetReport` with deterministic events plus throughput/latency
+  metrics.
 
 Quickstart::
 
@@ -55,12 +60,26 @@ _SWEEP_EXPORTS = (
     "run_sweep",
 )
 
+#: Fleet names re-exported lazily for the same reason: repro.fleet sits above
+#: the experiment scenarios and this config module, so it must not be pulled
+#: in eagerly when repro.api itself is being imported.
+_FLEET_EXPORTS = (
+    "FleetConfig",
+    "FleetReport",
+    "FleetScheduler",
+    "run_fleet",
+)
+
 
 def __getattr__(name: str):
     if name in _SWEEP_EXPORTS:
         import repro.sweep
 
         return getattr(repro.sweep, name)
+    if name in _FLEET_EXPORTS:
+        import repro.fleet
+
+        return getattr(repro.fleet, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -68,6 +87,9 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "DetectionEvent",
     "DetectorRegistry",
+    "FleetConfig",
+    "FleetReport",
+    "FleetScheduler",
     "MultiLinkMonitor",
     "PipelineConfig",
     "StreamingSession",
@@ -80,5 +102,6 @@ __all__ = [
     "SweepStore",
     "available_detectors",
     "register_detector",
+    "run_fleet",
     "run_sweep",
 ]

@@ -105,21 +105,26 @@ class MultiLinkMonitor:
         """
         unknown = set(frames) - set(self._sessions)
         if unknown:
-            raise ValueError(f"frames for unknown links: {sorted(unknown)}")
+            raise ValueError(
+                f"frames for unknown links {sorted(unknown)}; "
+                f"known links: {sorted(self._sessions)}"
+            )
         ready: list[tuple[StreamingSession, CSITrace]] = []
         for name, session in self._sessions.items():
             if name not in frames:
                 continue
-            window = session._advance(frames[name])
-            if window is not None:
-                ready.append((session, window))
-        return self._score_batch(ready)
+            if session.advance(frames[name]):
+                ready.append((session, session.pending_window()))
+        return score_windows_batch(ready)
 
     def push_traces(self, traces: Mapping[str, CSITrace]) -> list[DetectionEvent]:
         """Stream per-link traces of equal length frame by frame, in lockstep."""
         unknown = set(traces) - set(self._sessions)
         if unknown:
-            raise ValueError(f"traces for unknown links: {sorted(unknown)}")
+            raise ValueError(
+                f"traces for unknown links {sorted(unknown)}; "
+                f"known links: {sorted(self._sessions)}"
+            )
         lengths = {name: trace.num_packets for name, trace in traces.items()}
         if len(set(lengths.values())) > 1:
             raise ValueError(
@@ -129,39 +134,6 @@ class MultiLinkMonitor:
         num_packets = next(iter(lengths.values())) if lengths else 0
         for i in range(num_packets):
             events.extend(self.push({name: trace.frame(i) for name, trace in traces.items()}))
-        return events
-
-    # ------------------------------------------------------------------ #
-    # batch scoring
-    # ------------------------------------------------------------------ #
-    def _score_batch(
-        self, ready: list[tuple[StreamingSession, CSITrace]]
-    ) -> list[DetectionEvent]:
-        """Score all completed windows of one step; vectorize where possible."""
-        if not ready:
-            return []
-        scores: dict[int, float] = {}
-        batchable = [
-            (position, session, window)
-            for position, (session, window) in enumerate(ready)
-            if type(session.detector) is BaselineDetector
-        ]
-        if len(batchable) >= 2:
-            shapes = {window.csi.shape for _, _, window in batchable}
-            profile_shapes = {
-                session.detector._profile_amplitude.shape for _, session, _ in batchable
-            }
-            if len(shapes) == 1 and len(profile_shapes) == 1:
-                for (position, _, _), score in zip(
-                    batchable, _batch_baseline_scores(batchable)
-                ):
-                    scores[position] = float(score)
-        events = []
-        for position, (session, window) in enumerate(ready):
-            score = scores.get(position)
-            if score is None:
-                score = float(session.detector.score(window))
-            events.append(session._emit(window, score))
         return events
 
     # ------------------------------------------------------------------ #
@@ -191,6 +163,48 @@ class MultiLinkMonitor:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(links={list(self._sessions)})"
+
+
+def score_windows_batch(
+    ready: Sequence[tuple[StreamingSession, CSITrace]]
+) -> list[DetectionEvent]:
+    """Score completed windows from several sessions; vectorize where possible.
+
+    The shared cross-link scoring step: :meth:`MultiLinkMonitor.push` and the
+    fleet scheduler (:mod:`repro.fleet.scheduler`) both hand their ready
+    ``(session, window)`` pairs here.  Windows owned by
+    :class:`~repro.core.detector.BaselineDetector` sessions with matching
+    shapes are reduced in one stacked NumPy pass (bit-identical to scoring
+    each window on its own — see :func:`_batch_baseline_scores`); everything
+    else falls back to per-window ``detector.score``.  Events are emitted
+    through :meth:`~repro.api.session.StreamingSession.emit` in *ready*
+    order.
+    """
+    if not ready:
+        return []
+    scores: dict[int, float] = {}
+    batchable = [
+        (position, session, window)
+        for position, (session, window) in enumerate(ready)
+        if type(session.detector) is BaselineDetector
+    ]
+    if len(batchable) >= 2:
+        shapes = {window.csi.shape for _, _, window in batchable}
+        profile_shapes = {
+            session.detector._profile_amplitude.shape for _, session, _ in batchable
+        }
+        if len(shapes) == 1 and len(profile_shapes) == 1:
+            for (position, _, _), score in zip(
+                batchable, _batch_baseline_scores(batchable)
+            ):
+                scores[position] = float(score)
+    events = []
+    for position, (session, window) in enumerate(ready):
+        score = scores.get(position)
+        if score is None:
+            score = float(session.detector.score(window))
+        events.append(session.emit(window, score))
+    return events
 
 
 def _batch_baseline_scores(

@@ -150,6 +150,11 @@ class StreamingSession:
         self.link_name = link_name
         self._buffer: deque[CSIFrame] = deque(maxlen=window_packets)
         self._packets_seen = 0
+        # Completed-but-unscored windows, each paired with the packet count
+        # at its completion: deferred scoring must stamp events with the
+        # count the inline path would have seen, not the count at emit time.
+        self._pending: deque[tuple[CSITrace, int]] = deque()
+        self._awaiting_emit: deque[tuple[CSITrace, int]] = deque()
         self._events: deque[DetectionEvent] = deque(maxlen=event_history)
         self._event_count = 0
 
@@ -218,10 +223,10 @@ class StreamingSession:
     # ------------------------------------------------------------------ #
     def push(self, frame: CSIFrame) -> DetectionEvent | None:
         """Consume one frame; return an event when a window completes."""
-        window = self._advance(frame)
-        if window is None:
+        if not self.advance(frame):
             return None
-        return self._emit(window, float(self.detector.score(window)))
+        window = self.pending_window()
+        return self.emit(window, float(self.detector.score(window)))
 
     def push_many(self, frames: Iterable[CSIFrame]) -> list[DetectionEvent]:
         """Consume several frames; return the events they triggered."""
@@ -235,6 +240,40 @@ class StreamingSession:
     def push_trace(self, trace: CSITrace) -> list[DetectionEvent]:
         """Stream every packet of a trace through the session."""
         return self.push_many(trace)
+
+    # ------------------------------------------------------------------ #
+    # scheduler hooks: non-scoring advance, deferred scoring
+    # ------------------------------------------------------------------ #
+    def advance(self, frame: CSIFrame) -> bool:
+        """Consume one frame *without* scoring; True when a window completed.
+
+        External schedulers (:class:`~repro.api.monitor.MultiLinkMonitor`,
+        the fleet scheduler) use this hook to collect ready windows from many
+        sessions and score them together in one vectorized batch.  The
+        completed window is queued; pop it with :meth:`pending_window` and
+        hand the score back through :meth:`emit`.  :meth:`push` is exactly
+        ``advance`` + ``pending_window`` + ``score`` + ``emit``, so deferred
+        scoring is bit-identical to the inline path.
+        """
+        window = self._advance(frame)
+        if window is None:
+            return False
+        self._pending.append((window, self._packets_seen))
+        return True
+
+    def pending_window(self) -> CSITrace | None:
+        """Pop the oldest completed-but-unscored window, or ``None``.
+
+        Windows are queued by :meth:`advance` in completion order; a caller
+        mixing :meth:`push` with an external scheduler should drain pending
+        windows before pushing again (``push`` scores the oldest pending
+        window, which is then necessarily its own).
+        """
+        if not self._pending:
+            return None
+        window, packets_seen = self._pending.popleft()
+        self._awaiting_emit.append((window, packets_seen))
+        return window
 
     def _advance(self, frame: CSIFrame) -> CSITrace | None:
         """Buffer one frame; return the completed window trace, if any."""
@@ -250,8 +289,21 @@ class StreamingSession:
             return None
         return CSITrace.from_frames(list(self._buffer), label=self.link_name)
 
-    def _emit(self, window: CSITrace, score: float) -> DetectionEvent:
-        """Record and return the event for a completed, scored window."""
+    def emit(self, window: CSITrace, score: float) -> DetectionEvent:
+        """Record and return the event for a completed, scored window.
+
+        When *window* came out of :meth:`pending_window`, the event carries
+        the packet count at the window's *completion* — so an externally
+        scheduled, batch-scored event is bit-identical to the one
+        :meth:`push` would have emitted inline, even if the session consumed
+        more frames between completion and deferred scoring.
+        """
+        packets_seen = self._packets_seen
+        for position, (awaiting, completion_count) in enumerate(self._awaiting_emit):
+            if awaiting is window:
+                del self._awaiting_emit[position]
+                packets_seen = completion_count
+                break
         detected = None if self.threshold is None else bool(score > self.threshold)
         event = DetectionEvent(
             link=self.link_name,
@@ -261,7 +313,7 @@ class StreamingSession:
             threshold=self.threshold,
             detected=detected,
             window_packets=window.num_packets,
-            packets_seen=self._packets_seen,
+            packets_seen=packets_seen,
         )
         self._event_count += 1
         self._events.append(event)
@@ -293,6 +345,8 @@ class StreamingSession:
         """
         self._buffer.clear()
         self._packets_seen = 0
+        self._pending.clear()
+        self._awaiting_emit.clear()
         self._events.clear()
         self._event_count = 0
 

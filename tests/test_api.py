@@ -377,6 +377,53 @@ class TestStreamingSession:
         assert session.events_emitted == 7
         assert [e.index for e in session.events] == [4, 5, 6]  # numbering intact
 
+    def test_advance_defers_scoring_until_emit(self, link, collector, calibration):
+        """The scheduler hook: advance + pending_window + emit == push."""
+        reference = self._session(link, calibration)
+        session = self._session(link, calibration)
+        trace = collector.collect_empty(num_packets=6)
+        expected = reference.push_trace(trace)
+
+        completed = [session.advance(frame) for frame in trace]
+        assert completed == [False] * 5 + [True]
+        window = session.pending_window()
+        assert window is not None and window.num_packets == 6
+        event = session.emit(window, float(session.detector.score(window)))
+        assert [event] == expected
+
+    def test_pending_window_empty_returns_none(self, link, calibration):
+        session = self._session(link, calibration)
+        assert session.pending_window() is None
+
+    def test_deferred_emit_keeps_completion_packets_seen(
+        self, link, collector, calibration
+    ):
+        """packets_seen is stamped at window completion, not at emit time.
+
+        A batch scheduler keeps consuming frames between a window completing
+        and its deferred scoring; the emitted event must still match what
+        inline ``push`` would have produced.
+        """
+        reference = self._session(link, calibration)
+        session = self._session(link, calibration)
+        trace = collector.collect_empty(num_packets=18)
+        expected = reference.push_trace(trace)
+
+        for frame in trace:  # advance everything before scoring anything
+            session.advance(frame)
+        events = []
+        while (window := session.pending_window()) is not None:
+            events.append(session.emit(window, float(session.detector.score(window))))
+        assert [e.packets_seen for e in events] == [6, 12, 18]
+        assert events == expected
+
+    def test_reset_drops_pending_windows(self, link, collector, calibration):
+        session = self._session(link, calibration)
+        for frame in collector.collect_empty(num_packets=6):
+            session.advance(frame)
+        session.reset()
+        assert session.pending_window() is None
+
     def test_invalid_session_parameters(self, link):
         detector = BaselineDetector()
         with pytest.raises(ValueError):
@@ -499,8 +546,14 @@ class TestMultiLinkMonitor:
         monitor = MultiLinkMonitor.from_config(config, multi_links)
         monitor.calibrate(calibrations)
         frame = windows[multi_links[0].name].frame(0)
-        with pytest.raises(ValueError, match="unknown links"):
+        with pytest.raises(ValueError, match="unknown links") as excinfo:
             monitor.push({"not-a-link": frame})
+        # The one-line error names both the offender and the known links.
+        message = str(excinfo.value)
+        assert "not-a-link" in message
+        assert "known links" in message
+        assert multi_links[0].name in message
+        assert "\n" not in message
 
     def test_lockstep_requires_equal_lengths(self, multi_links):
         config = PipelineConfig(detector="baseline", window_packets=6, calibration_packets=24)
