@@ -1,0 +1,65 @@
+"""Structured lint findings.
+
+A :class:`Finding` is the unit every rule emits and every reporter consumes:
+one violation at one source location, identified by a stable rule id.  The
+dict round-trip mirrors the config dataclasses elsewhere in the repo
+(``to_dict``/``from_dict`` with :func:`~repro.utils.validation.check_known_keys`)
+so findings can be persisted, diffed, and rebuilt from the JSON reporter's
+output without a schema drifting silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.utils.validation import check_known_keys
+
+#: Rule id of the meta-findings the pragma parser emits (malformed pragma,
+#: unknown rule, missing justification).  Meta-findings are never
+#: suppressible: a broken suppression must not be able to hide itself.
+PRAGMA_RULE_ID = "PRAGMA"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One determinism-contract violation at one source location."""
+
+    #: Path of the offending file, as given to the engine (kept verbatim so
+    #: reports are stable regardless of the working directory).
+    path: str
+    #: 1-based source line.
+    line: int
+    #: 0-based column offset (``ast`` convention).
+    column: int
+    #: Stable rule identifier, e.g. ``"DET001"``.
+    rule: str
+    #: Human-readable description of the violation.
+    message: str
+
+    def location(self) -> str:
+        """``path:line:column`` — the clickable prefix of text reports."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The finding as a plain JSON-serialisable dict (``from_dict`` inverse)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output, rejecting unknown keys."""
+        known = ("path", "line", "column", "rule", "message")
+        check_known_keys("Finding", data, known, required=known)
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )

@@ -1,0 +1,82 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` for humans and CI.
+
+Three formats:
+
+* ``text`` — one ``path:line:column: RULE message`` line per finding plus a
+  summary line; the default terminal output.
+* ``json`` — a versioned document whose findings round-trip through
+  :meth:`repro.analysis.findings.Finding.from_dict`; for tooling.
+* ``markdown`` — a findings table for ``$GITHUB_STEP_SUMMARY``.
+
+All three are deterministic: findings arrive location-sorted from the engine
+and every mapping is emitted in sorted key order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+#: Schema version of the JSON report.
+JSON_REPORT_VERSION = 1
+
+
+def _summary_line(result: LintResult) -> str:
+    return (
+        f"{len(result.findings)} finding(s) ({result.suppressed} suppressed "
+        f"by pragma) in {result.files} file(s)"
+    )
+
+
+def text_report(result: LintResult) -> str:
+    """Plain-text report: one line per finding, then the summary."""
+    lines = [
+        f"{finding.location()}: {finding.rule} {finding.message}"
+        for finding in result.findings
+    ]
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    """JSON report; ``findings`` entries round-trip via ``Finding.from_dict``."""
+    document = {
+        "version": JSON_REPORT_VERSION,
+        "ok": result.ok,
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "by_rule": result.by_rule(),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def markdown_report(result: LintResult) -> str:
+    """Markdown report for CI job summaries."""
+    lines = ["### Determinism lint (`repro lint`)", ""]
+    if result.ok:
+        lines.append(
+            f"✅ no findings ({result.suppressed} suppressed by pragma) "
+            f"in {result.files} file(s)"
+        )
+        return "\n".join(lines)
+    lines.append(f"❌ {_summary_line(result)}")
+    lines.append("")
+    lines.append("| Location | Rule | Message |")
+    lines.append("| --- | --- | --- |")
+    for finding in result.findings:
+        message = finding.message.replace("|", "\\|")
+        lines.append(f"| `{finding.location()}` | {finding.rule} | {message} |")
+    return "\n".join(lines)
+
+
+#: Name -> renderer, the CLI's ``--format`` choices.
+REPORTERS = {
+    "text": text_report,
+    "json": json_report,
+    "markdown": markdown_report,
+}

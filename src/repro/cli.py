@@ -35,6 +35,12 @@ summarise it later::
     python -m repro fleet run --links 1000 --duration 5
     python -m repro fleet report --events events.jsonl
 
+Statically enforce the determinism contract (exit 1 on any unsuppressed
+finding; see the README's "Determinism contract" section)::
+
+    python -m repro lint src/repro
+    python -m repro lint src/repro --format json --rule DET001
+
 List every available experiment::
 
     python -m repro list
@@ -132,7 +138,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("standalone figures:", ", ".join(sorted(_STANDALONE_FIGURES)))
     print("detectors         :", ", ".join(available_detectors()))
     print(
-        "other commands    : headline, list, pipeline, "
+        "other commands    : headline, lint, list, pipeline, "
         "sweep {run,status,report}, fleet {run,report}"
     )
     return 0
@@ -267,6 +273,33 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             payload["occupied"] = sum(truth) * 2 > len(truth)
             print(json.dumps(payload))
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# determinism lint
+# --------------------------------------------------------------------------- #
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Statically enforce the determinism contract over the given paths.
+
+    Exit code 0 when clean, 1 on any unsuppressed finding, 2 on a
+    configuration mistake (unknown rule, bad path, malformed config).
+    """
+    from repro.analysis import LintConfig, lint_paths
+    from repro.analysis.reporters import REPORTERS
+
+    try:
+        config = None
+        if args.pyproject is not None:
+            pyproject = Path(args.pyproject)
+            if not pyproject.is_file():
+                raise FileNotFoundError(f"no such pyproject file: {pyproject}")
+            config = LintConfig.from_pyproject(pyproject)
+        rule_ids = [rule.upper() for rule in args.rule] if args.rule else None
+        result = lint_paths(args.paths, config=config, rule_ids=rule_ids)
+    except (ValueError, FileNotFoundError) as error:
+        return _config_error(error)
+    print(REPORTERS[args.format](result))
+    return 0 if result.ok else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -550,6 +583,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_postfix_overrides(pipeline, ("seed", "window_packets"))
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically enforce the determinism contract (exactmath routing, "
+        "RNG discipline, canonical serialisation); exits 1 on any "
+        "unsuppressed finding",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="report format (default text; markdown suits CI job summaries)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="restrict the run to this rule id (repeatable), e.g. --rule DET001",
+    )
+    lint.add_argument(
+        "--pyproject",
+        metavar="PATH",
+        default=None,
+        help="explicit pyproject.toml with the [tool.repro.lint] scoping "
+        "(default: discovered by walking up from the first linted path)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     fleet = sub.add_parser(
         "fleet",

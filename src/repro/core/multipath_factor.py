@@ -52,11 +52,11 @@ def _apportionment_weights(frequencies: np.ndarray | None) -> np.ndarray:
     if frequencies is None:
         if _DEFAULT_APPORTIONMENT is None:
             freqs = subcarrier_frequencies()
-            inverse_f2 = freqs**-2.0
+            inverse_f2 = freqs**-2.0  # repro: allow-det001 -- historical pinned expression; scalar and batch layers share this exact kernel, so the sha256 score pins depend on it staying as-is
             _DEFAULT_APPORTIONMENT = inverse_f2 / inverse_f2.sum()
         return _DEFAULT_APPORTIONMENT
     freqs = np.asarray(frequencies, dtype=float)
-    inverse_f2 = freqs**-2.0
+    inverse_f2 = freqs**-2.0  # repro: allow-det001 -- must match the cached default-grid expression above bit for bit (custom frequency grids take this uncached path)
     return inverse_f2 / inverse_f2.sum()
 
 

@@ -30,7 +30,7 @@ from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
 try:  # pragma: no cover - import guard exercised implicitly
-    from numpy.linalg import _umath_linalg as _umath_linalg
+    from numpy.linalg import _umath_linalg as _umath_linalg  # repro: allow-det006 -- guarded by this try/except; when the gufunc moves or vanishes _LSTSQ_GUFUNC stays None and every fit takes the per-row np.polyfit fallback (forced in CI via REPRO_FORCE_POLYFIT_FALLBACK)
 
     _LSTSQ_GUFUNC = getattr(_umath_linalg, "lstsq", None) or getattr(
         _umath_linalg, "lstsq_m", None

@@ -102,7 +102,7 @@ class FleetScheduler:
             if not pending:
                 return
             flushed = score_windows_batch([(s, w) for s, w, _ in pending])
-            emitted_at = time.perf_counter()
+            emitted_at = time.perf_counter()  # repro: allow-det003 -- wall clock feeds the latency stats only, never the events or their digest
             latencies.extend(emitted_at - ready_at for _, _, ready_at in pending)
             events.extend(flushed)
             pending.clear()
@@ -119,7 +119,7 @@ class FleetScheduler:
 
         arrivals = 0
         windows = 0
-        started_at = time.perf_counter()
+        started_at = time.perf_counter()  # repro: allow-det003 -- throughput timer; stats only, never the event stream
         while heap:
             _, position, index = heapq.heappop(heap)
             session, traffic = streams[position]
@@ -127,7 +127,7 @@ class FleetScheduler:
             if session.advance(traffic.frame(index)):
                 windows += 1
                 pending.append(
-                    (session, session.pending_window(), time.perf_counter())
+                    (session, session.pending_window(), time.perf_counter())  # repro: allow-det003 -- arrival-to-emission latency stamp; stats only, never the event stream
                 )
                 if len(pending) >= self.batch_windows:
                     flush()
@@ -136,7 +136,7 @@ class FleetScheduler:
                     heap, (float(traffic.arrivals[index + 1]), position, index + 1)
                 )
         flush()
-        elapsed = time.perf_counter() - started_at
+        elapsed = time.perf_counter() - started_at  # repro: allow-det003 -- throughput timer; stats only, never the event stream
         return events, ScheduleStats(
             arrivals=arrivals,
             windows=windows,

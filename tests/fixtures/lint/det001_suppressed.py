@@ -1,0 +1,11 @@
+"""DET001 sites silenced by justified pragmas."""
+
+import numpy as np
+
+
+def attenuation(x):
+    return np.exp(-x)  # repro: allow-det001 -- fixture: pretend this site is the pinned reference
+
+
+def weights(freqs):
+    return freqs**-2.0  # repro: allow-det001 -- fixture: historical pinned expression

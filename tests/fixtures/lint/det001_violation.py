@@ -1,0 +1,16 @@
+"""DET001 true positives: bare NumPy transcendentals and float-literal ``**``."""
+
+import numpy as np
+
+
+def attenuation(x):
+    return np.exp(-x)  # line 7: real-valued np.exp fires
+
+
+def weights(freqs):
+    return freqs**-2.0  # line 11: float-literal exponent fires
+
+
+def steering(phase):
+    # Complex-literal exp is exempt: scalar and batch share one kernel.
+    return np.exp(-1j * phase)

@@ -1,0 +1,7 @@
+"""DET002 sites silenced by justified pragmas."""
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng(3)  # repro: allow-det002 -- fixture: pretend this is the canonical seam

@@ -1,0 +1,22 @@
+"""DET003 true positives: wall clocks and OS entropy in library code."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # line 10: wall clock fires
+
+
+def token():
+    return uuid.uuid4()  # line 14: OS-entropy UUID fires
+
+
+def entropy():
+    return os.urandom(8)  # line 18: OS entropy fires
+
+
+def now():
+    return datetime.now()  # line 22: from-import datetime.now fires

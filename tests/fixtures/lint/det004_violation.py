@@ -1,0 +1,24 @@
+"""DET004 true positives: unordered set iteration feeding output."""
+
+
+def literal_loop(out):
+    for name in {"b", "a", "c"}:  # line 5: set literal iteration fires
+        out.append(name)
+    return out
+
+
+def tracked_name(items):
+    names = set(items)
+    return [name for name in names]  # line 12: comprehension over tracked set fires
+
+
+def union_loop(left, right):
+    lines = []
+    for key in set(left) | set(right):  # line 17: set union iteration fires
+        lines.append(key)
+    return lines
+
+
+def sorted_is_fine(items):
+    # Wrapping in sorted() fixes the order and silences the rule.
+    return [name for name in sorted(set(items))]

@@ -1,0 +1,10 @@
+"""DET005 site silenced by a justified pragma."""
+
+
+class LegacyPayload:
+    def __init__(self, blob):
+        self.blob = blob
+
+    @classmethod
+    def from_dict(cls, data):  # repro: allow-det005 -- fixture: opaque passthrough payload, keys intentionally unvalidated
+        return cls(blob=dict(data))

@@ -1,0 +1,21 @@
+"""DET005 true positive: a from_dict that never validates its keys."""
+
+
+class UncheckedConfig:
+    def __init__(self, name):
+        self.name = name
+
+    @classmethod
+    def from_dict(cls, data):  # line 9: no check_known_keys call fires
+        return cls(name=data.get("name", ""))
+
+
+class DelegatingConfig:
+    """Delegation to another from_dict is accepted — the inner call validates."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(inner=UncheckedConfig.from_dict(data))

@@ -1,0 +1,8 @@
+"""DET006 true positives: private NumPy API access."""
+
+import numpy as np
+from numpy.linalg import _umath_linalg  # line 4: private import fires
+
+
+def gufunc():
+    return np.linalg._umath_linalg.lstsq  # line 8: private attribute chain fires

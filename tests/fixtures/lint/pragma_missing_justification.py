@@ -1,0 +1,7 @@
+"""A pragma without its mandatory justification: rejected, nothing suppressed."""
+
+import numpy as np
+
+
+def attenuation(x):
+    return np.exp(-x)  # repro: allow-det001

@@ -1,0 +1,5 @@
+"""A pragma naming a rule that does not exist: rejected."""
+
+
+def harmless():
+    return 1  # repro: allow-det999 -- no such rule
