@@ -47,5 +47,6 @@ __all__ = [
     "core",
     "csi",
     "experiments",
+    "obs",
     "utils",
 ]

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.detector import BaselineDetector
 from repro.csi.calibration import sanitize_csi_array, sanitize_trace
 from repro.csi.format import CSIFrame
@@ -182,28 +183,30 @@ def score_windows_batch(
     """
     if not ready:
         return []
-    scores: dict[int, float] = {}
-    batchable = [
-        (position, session, window)
-        for position, (session, window) in enumerate(ready)
-        if type(session.detector) is BaselineDetector
-    ]
-    if len(batchable) >= 2:
-        shapes = {window.csi.shape for _, _, window in batchable}
-        profile_shapes = {
-            session.detector._profile_amplitude.shape for _, session, _ in batchable
-        }
-        if len(shapes) == 1 and len(profile_shapes) == 1:
-            for (position, _, _), score in zip(
-                batchable, _batch_baseline_scores(batchable)
-            ):
-                scores[position] = float(score)
-    events = []
-    for position, (session, window) in enumerate(ready):
-        score = scores.get(position)
-        if score is None:
-            score = float(session.detector.score(window))
-        events.append(session.emit(window, score))
+    with obs.span("score.batch"):
+        scores: dict[int, float] = {}
+        batchable = [
+            (position, session, window)
+            for position, (session, window) in enumerate(ready)
+            if type(session.detector) is BaselineDetector
+        ]
+        if len(batchable) >= 2:
+            shapes = {window.csi.shape for _, _, window in batchable}
+            profile_shapes = {
+                session.detector._profile_amplitude.shape for _, session, _ in batchable
+            }
+            if len(shapes) == 1 and len(profile_shapes) == 1:
+                for (position, _, _), score in zip(
+                    batchable, _batch_baseline_scores(batchable)
+                ):
+                    scores[position] = float(score)
+        events = []
+        for position, (session, window) in enumerate(ready):
+            score = scores.get(position)
+            if score is None:
+                score = float(session.detector.score(window))
+            events.append(session.emit(window, score))
+    obs.count("score.windows", len(ready))
     return events
 
 

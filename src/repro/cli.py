@@ -41,6 +41,14 @@ finding; see the README's "Determinism contract" section)::
     python -m repro lint src/repro
     python -m repro lint src/repro --format json --rule DET001
 
+Profile where time goes: record per-stage spans and latency histograms
+during a fleet or sweep run, then render the metrics file (events, scores
+and digests are byte-identical with observability on or off)::
+
+    python -m repro fleet run --links 1000 --obs --obs-out fleet-obs.jsonl
+    python -m repro sweep run --spec sweep.json --store sweep.jsonl --obs
+    python -m repro obs report --metrics fleet-obs.jsonl --format markdown
+
 List every available experiment::
 
     python -m repro list
@@ -138,7 +146,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("standalone figures:", ", ".join(sorted(_STANDALONE_FIGURES)))
     print("detectors         :", ", ".join(available_detectors()))
     print(
-        "other commands    : headline, lint, list, pipeline, "
+        "other commands    : headline, lint, list, obs report, pipeline, "
         "sweep {run,status,report}, fleet {run,report}"
     )
     return 0
@@ -303,6 +311,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# observability
+# --------------------------------------------------------------------------- #
+def _obs_out_path(args: argparse.Namespace, default: str) -> Path | None:
+    """Resolve the ``--obs``/``--obs-out`` pair to a metrics path (or None).
+
+    ``--obs`` alone writes to *default*; ``--obs-out PATH`` implies ``--obs``.
+    """
+    obs_out = getattr(args, "obs_out", None)
+    if obs_out is not None:
+        return Path(obs_out)
+    if getattr(args, "obs", False):
+        return Path(default)
+    return None
+
+
+def _write_obs(recorder, path: Path) -> None:
+    """Persist a recorder's snapshot as JSONL and note it on stderr."""
+    from repro.obs import write_jsonl
+
+    lines = write_jsonl(recorder.snapshot(), path)
+    print(f"wrote {lines} metrics line(s) to {path}", file=sys.stderr)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render a metrics JSONL file written by ``--obs-out``."""
+    from repro.obs import REPORTERS, load_jsonl
+
+    try:
+        snapshot = load_jsonl(args.metrics)
+    except (ValueError, FileNotFoundError) as error:
+        return _config_error(error)
+    print(REPORTERS[args.format](snapshot))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # fleet streaming
 # --------------------------------------------------------------------------- #
 def _fleet_config(args: argparse.Namespace):
@@ -339,7 +383,15 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         config = _fleet_config(args)
     except (ValueError, FileNotFoundError) as error:
         return _config_error(error)
-    report = run_fleet(config)
+    obs_out = _obs_out_path(args, "fleet-obs.jsonl")
+    if obs_out is not None:
+        from repro import obs
+
+        with obs.recording() as recorder:
+            report = run_fleet(config)
+        _write_obs(recorder, obs_out)
+    else:
+        report = run_fleet(config)
     if args.events is not None:
         with Path(args.events).open("w") as handle:
             for event in report.events:
@@ -423,7 +475,15 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         return _config_error(error)
     # Execution errors (a failing case inside a worker) keep their tracebacks
     # — only configuration mistakes get the one-line exit-2 treatment.
-    outcome = runner.run(resume=args.resume, prepared=prepared)
+    obs_out = _obs_out_path(args, "sweep-obs.jsonl")
+    if obs_out is not None:
+        from repro import obs
+
+        with obs.recording() as recorder:
+            outcome = runner.run(resume=args.resume, prepared=prepared)
+        _write_obs(recorder, obs_out)
+    else:
+        outcome = runner.run(resume=args.resume, prepared=prepared)
     print(
         json.dumps(
             {
@@ -531,6 +591,22 @@ def build_parser() -> argparse.ArgumentParser:
         "worker count)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_obs_flags(subparser, default_out: str) -> None:
+        """The --obs/--obs-out pair shared by the fleet and sweep runners."""
+        subparser.add_argument(
+            "--obs",
+            action="store_true",
+            help="record per-stage spans and latency histograms during the run "
+            "(outputs are byte-identical with or without it) and write the "
+            f"metrics JSONL to {default_out}",
+        )
+        subparser.add_argument(
+            "--obs-out",
+            metavar="PATH",
+            default=None,
+            help=f"metrics JSONL path (implies --obs; default {default_out})",
+        )
 
     def add_postfix_overrides(subparser, names: tuple[str, ...]) -> None:
         """Accept the global campaign flags after the subcommand too.
@@ -652,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the canonical event stream as JSON lines",
     )
+    _add_obs_flags(fleet_run, "fleet-obs.jsonl")
     add_postfix_overrides(fleet_run, ("seed", "workers"))
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
@@ -660,6 +737,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_report.add_argument("--events", required=True, metavar="PATH")
     fleet_report.set_defaults(func=_cmd_fleet_report)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="observability: render metrics files recorded by "
+        "fleet/sweep run --obs",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a metrics JSONL file (per-stage p50/p99 latency, "
+        "counters, setup-vs-scheduling time split)",
+    )
+    obs_report.add_argument(
+        "--metrics", required=True, metavar="PATH", help="metrics JSONL file"
+    )
+    obs_report.add_argument(
+        "--format",
+        choices=("text", "markdown", "prometheus"),
+        default="text",
+        help="report format (default text; markdown suits CI job summaries, "
+        "prometheus is the text exposition format)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     sweep = sub.add_parser(
         "sweep",
@@ -693,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip points already completed in the store (required to reuse a "
         "non-empty store)",
     )
+    _add_obs_flags(sweep_run, "sweep-obs.jsonl")
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_status = sweep_sub.add_parser(

@@ -26,6 +26,7 @@ import os
 
 import numpy as np
 
+from repro import obs
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
@@ -132,18 +133,22 @@ def sanitize_csi_array(
             f"subcarrier_indices has shape {indices.shape}, expected ({subcarriers},)"
         )
     if keep_inter_antenna_phase:
-        phases = np.unwrap(np.angle(csi[:, 0, :]), axis=-1)
-        coefficients = _linear_phase_fits(indices, phases)
-        corrections = coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
-        return csi * np.exp(-1j * corrections)[:, None, :]
-    phases = np.unwrap(np.angle(csi), axis=-1)
-    coefficients = _linear_phase_fits(
-        indices, phases.reshape(packets * antennas, subcarriers)
-    )
-    corrections = (
-        coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
-    ).reshape(packets, antennas, subcarriers)
-    return csi * np.exp(-1j * corrections)
+        with obs.span("collect.sanitize"):
+            phases = np.unwrap(np.angle(csi[:, 0, :]), axis=-1)
+            coefficients = _linear_phase_fits(indices, phases)
+            corrections = (
+                coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
+            )
+            return csi * np.exp(-1j * corrections)[:, None, :]
+    with obs.span("collect.sanitize"):
+        phases = np.unwrap(np.angle(csi), axis=-1)
+        coefficients = _linear_phase_fits(
+            indices, phases.reshape(packets * antennas, subcarriers)
+        )
+        corrections = (
+            coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
+        ).reshape(packets, antennas, subcarriers)
+        return csi * np.exp(-1j * corrections)
 
 
 def remove_linear_phase(csi: np.ndarray, subcarrier_indices: np.ndarray) -> np.ndarray:

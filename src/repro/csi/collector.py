@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channel.channel import ChannelSimulator
 from repro.channel.constants import DEFAULT_PACKET_RATE_HZ
 from repro.channel.geometry import Point
@@ -128,21 +129,25 @@ class PacketCollector:
         if num_packets < 1:
             raise ValueError(f"num_packets must be >= 1, got {num_packets}")
         interval = 1.0 / self.packet_rate_hz
-        clean = self.simulator.clean_cfr(humans)
-        plan = self.simulator.impairment_plan(clean, num_packets=num_packets)
+        with obs.span("collect.synthesize"):
+            clean = self.simulator.clean_cfr(humans)
+            plan = self.simulator.impairment_plan(clean, num_packets=num_packets)
         timestamps = np.empty(num_packets, dtype=float)
         t = start_time
         consecutive_losses = 0
-        while plan.num_drawn < num_packets:
-            t += interval
-            if self._ping_lost(consecutive_losses):
-                consecutive_losses += 1
-                continue
-            consecutive_losses = 0
-            timestamps[plan.num_drawn] = t
-            plan.draw_next(self._rng)
+        with obs.span("collect.impair"):
+            while plan.num_drawn < num_packets:
+                t += interval
+                if self._ping_lost(consecutive_losses):
+                    consecutive_losses += 1
+                    continue
+                consecutive_losses = 0
+                timestamps[plan.num_drawn] = t
+                plan.draw_next(self._rng)
+            csi = plan.apply()
+        obs.count("collect.packets", num_packets)
         return CSITrace(
-            csi=plan.apply(),
+            csi=csi,
             timestamps=timestamps,
             label=label,
         )
@@ -193,24 +198,26 @@ class PacketCollector:
             body if body is not None else HumanBody(position=self.simulator.link.midpoint())
         )
         background = list(background)
-        scenes = [
-            [template.moved_to(position), *background] for position in positions
-        ]
-        cleans = self.simulator.clean_cfr_batch(scenes)
-        plan = self.simulator.impairment_plan(cleans)
+        with obs.span("collect.synthesize"):
+            scenes = [
+                [template.moved_to(position), *background] for position in positions
+            ]
+            cleans = self.simulator.clean_cfr_batch(scenes)
+            plan = self.simulator.impairment_plan(cleans)
         timestamps = []
         t = start_time
-        for i in range(len(scenes)):
-            t += interval
-            if self._ping_lost(0):
-                continue
-            plan.draw_next(self._rng, candidate=i)
-            timestamps.append(t)
-        if plan.num_drawn == 0:
-            raise RuntimeError(
-                f"every ping of the {len(positions)}-position walk was lost "
-                f"(loss_probability={self.loss_probability}); no CSI collected"
-            )
-        return CSITrace(
-            csi=plan.apply(), timestamps=np.asarray(timestamps), label=label
-        )
+        with obs.span("collect.impair"):
+            for i in range(len(scenes)):
+                t += interval
+                if self._ping_lost(0):
+                    continue
+                plan.draw_next(self._rng, candidate=i)
+                timestamps.append(t)
+            if plan.num_drawn == 0:
+                raise RuntimeError(
+                    f"every ping of the {len(positions)}-position walk was lost "
+                    f"(loss_probability={self.loss_probability}); no CSI collected"
+                )
+            csi = plan.apply()
+        obs.count("collect.packets", plan.num_drawn)
+        return CSITrace(csi=csi, timestamps=np.asarray(timestamps), label=label)

@@ -16,6 +16,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.api.config import PipelineConfig
 from repro.api.registry import DEFAULT_REGISTRY, DetectorRegistry
 from repro.channel.channel import ChannelSimulator, Link
@@ -514,6 +515,25 @@ def derive_case_seed(config: EvaluationConfig, case_index: int) -> int:
     return config.seed + 1000 * case_index
 
 
+def _run_case_shard(
+    link: Link,
+    config: EvaluationConfig,
+    case_seed: int,
+    obs_enabled: bool = False,
+) -> tuple[list[ScoredWindow], "obs.ObsSnapshot | None"]:
+    """One process-pool work unit of :func:`run_evaluation`.
+
+    Wraps :func:`run_case` in its own :mod:`repro.obs` recorder when
+    observability is on (workers don't share the parent's recorder) and
+    ships the snapshot home with the windows for in-order merge.
+    """
+    with obs.shard_recording(obs_enabled) as recorder:
+        with obs.span("eval.case"):
+            windows = run_case(link, config, case_seed=case_seed)
+        snapshot = recorder.snapshot() if recorder is not None else None
+    return windows, snapshot
+
+
 def run_evaluation(
     config: EvaluationConfig | None = None,
     *,
@@ -568,24 +588,34 @@ def run_evaluation(
     seeds = [derive_case_seed(config, index) for index in range(len(case_list))]
 
     per_case: list[list[ScoredWindow]]
-    if not parallel:
-        per_case = [
-            run_case(link, config, case_seed=seed)
-            for (_, link), seed in zip(case_list, seeds)
-        ]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    with obs.span("eval.campaign"):
+        if not parallel:
+            per_case = []
+            for (_, link), seed in zip(case_list, seeds):
+                with obs.span("eval.case"):
+                    per_case.append(run_case(link, config, case_seed=seed))
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = [
-                executor.submit(run_case, link, config, case_seed=seed)
-                for (_, link), seed in zip(case_list, seeds)
-            ]
-            # Collect in submission order: the merged window list is identical
-            # to the sequential campaign regardless of completion order.
-            per_case = [future.result() for future in futures]
+            obs_enabled = obs.enabled()
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(
+                        _run_case_shard, link, config, seed, obs_enabled
+                    )
+                    for (_, link), seed in zip(case_list, seeds)
+                ]
+                # Collect in submission order: the merged window list (and the
+                # merged metrics) are identical to the sequential campaign
+                # regardless of completion order.
+                per_case = []
+                for future in futures:
+                    case_windows, snapshot = future.result()
+                    per_case.append(case_windows)
+                    obs.merge(snapshot)
 
     windows: list[ScoredWindow] = []
     for case_windows in per_case:
         windows.extend(case_windows)
+    obs.count("eval.windows", len(windows))
     return EvaluationResult(windows=windows, config=config)

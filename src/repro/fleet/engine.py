@@ -25,15 +25,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.api.config import PipelineConfig
 from repro.api.session import DetectionEvent, StreamingSession
+from repro.obs.trace import ObsSnapshot
 from repro.utils.validation import check_known_keys, check_probability
 
 from repro.fleet.scheduler import FleetScheduler
@@ -272,41 +273,68 @@ def _shard_indices(links: int, workers: int) -> list[list[int]]:
     return [chunk.tolist() for chunk in np.array_split(np.arange(links), workers)]
 
 
+_ShardResult = tuple[
+    list[DetectionEvent],
+    tuple[float, ...],
+    int,
+    int,
+    float,
+    dict[str, int],
+    "ObsSnapshot | None",
+]
+
+
 def _run_fleet_shard(
-    config: FleetConfig, indices: Sequence[int]
-) -> tuple[list[DetectionEvent], tuple[float, ...], int, int, float, dict[str, int]]:
+    config: FleetConfig, indices: Sequence[int], obs_enabled: bool = False
+) -> _ShardResult:
     """Build and run one shard of the link population.
 
     Returns ``(events, latencies, arrivals, windows, schedule_elapsed_s,
-    class_census)``.  Everything a shard needs is rebuilt from the config
-    and its link indices, so shards are independent of each other and of the
-    process they run in.
+    class_census, obs_snapshot)``.  Everything a shard needs is rebuilt from
+    the config and its link indices, so shards are independent of each other
+    and of the process they run in.  When *obs_enabled*, the shard records
+    into its own :mod:`repro.obs` recorder and ships the snapshot home for
+    in-order merge (process pools don't share the parent's recorder).
     """
     from repro.experiments.scenarios import evaluation_cases
 
-    cases = evaluation_cases()
-    streams: list[tuple[StreamingSession, LinkTraffic]] = []
-    census: dict[str, int] = {}
-    for index in indices:
-        _, link = cases[index % len(cases)]
-        traffic = build_link_traffic(
-            index,
-            link,
-            seed=config.seed,
-            pipeline=config.pipeline,
-            duration_s=config.duration_s,
-            pool_packets=config.pool_packets,
-            occupied_fraction=config.occupied_fraction,
-            class_mix=config.class_mix,
-            class_rates_hz=config.class_rates_hz,
-        )
-        session = config.pipeline.session(link, link_name=traffic.profile.name)
-        session.calibrate(traffic.calibration)
-        census[traffic.profile.rate_class] = census.get(traffic.profile.rate_class, 0) + 1
-        streams.append((session, traffic))
-    scheduler = FleetScheduler(batch_windows=config.batch_windows)
-    events, stats = scheduler.run(streams)
-    return events, stats.latencies_s, stats.arrivals, stats.windows, stats.elapsed_s, census
+    with obs.shard_recording(obs_enabled) as recorder:
+        with obs.span("fleet.shard_setup"):
+            cases = evaluation_cases()
+            streams: list[tuple[StreamingSession, LinkTraffic]] = []
+            census: dict[str, int] = {}
+            for index in indices:
+                _, link = cases[index % len(cases)]
+                traffic = build_link_traffic(
+                    index,
+                    link,
+                    seed=config.seed,
+                    pipeline=config.pipeline,
+                    duration_s=config.duration_s,
+                    pool_packets=config.pool_packets,
+                    occupied_fraction=config.occupied_fraction,
+                    class_mix=config.class_mix,
+                    class_rates_hz=config.class_rates_hz,
+                )
+                session = config.pipeline.session(link, link_name=traffic.profile.name)
+                session.calibrate(traffic.calibration)
+                census[traffic.profile.rate_class] = (
+                    census.get(traffic.profile.rate_class, 0) + 1
+                )
+                streams.append((session, traffic))
+        scheduler = FleetScheduler(batch_windows=config.batch_windows)
+        with obs.span("fleet.schedule"):
+            events, stats = scheduler.run(streams)
+        snapshot = recorder.snapshot() if recorder is not None else None
+    return (
+        events,
+        stats.latencies_s,
+        stats.arrivals,
+        stats.windows,
+        stats.elapsed_s,
+        census,
+        snapshot,
+    )
 
 
 def _percentile(latencies: Sequence[float], q: float) -> float:
@@ -332,24 +360,23 @@ def run_fleet(config: FleetConfig, *, max_workers: int | None = None) -> FleetRe
     workers = config.max_workers if max_workers is None else max_workers
     if workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {workers}")
-    started_at = time.perf_counter()  # repro: allow-det003 -- wall-clock timer feeds the windows/sec report only, never the events or their digest
+    obs_enabled = obs.enabled()
+    started_at = obs.active_clock().now()
     shards = _shard_indices(config.links, workers)
 
-    shard_results: list[
-        tuple[list[DetectionEvent], tuple[float, ...], int, int, float, dict[str, int]]
-    ]
+    shard_results: list[_ShardResult]
     if len(shards) <= 1:
-        shard_results = [_run_fleet_shard(config, shards[0])]
+        shard_results = [_run_fleet_shard(config, shards[0], obs_enabled)]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=len(shards)) as executor:
             futures = [
-                executor.submit(_run_fleet_shard, config, indices)
+                executor.submit(_run_fleet_shard, config, indices, obs_enabled)
                 for indices in shards
             ]
             shard_results = [future.result() for future in futures]
-    wall_s = time.perf_counter() - started_at  # repro: allow-det003 -- wall-clock timer feeds the windows/sec report only, never the events or their digest
+    wall_s = obs.active_clock().now() - started_at
 
     events: list[DetectionEvent] = []
     latencies: list[float] = []
@@ -357,8 +384,18 @@ def run_fleet(config: FleetConfig, *, max_workers: int | None = None) -> FleetRe
     windows = 0
     elapsed_s = 0.0
     per_class: dict[str, int] = {name: 0 for name in RATE_CLASSES}
+    # Merge shard snapshots in shard order so the combined metrics are
+    # structurally identical for any worker count.
     for shard in shard_results:
-        shard_events, shard_latencies, shard_arrivals, shard_windows, shard_elapsed, census = shard
+        (
+            shard_events,
+            shard_latencies,
+            shard_arrivals,
+            shard_windows,
+            shard_elapsed,
+            census,
+            shard_snapshot,
+        ) = shard
         events.extend(shard_events)
         latencies.extend(shard_latencies)
         arrivals += shard_arrivals
@@ -368,8 +405,12 @@ def run_fleet(config: FleetConfig, *, max_workers: int | None = None) -> FleetRe
         elapsed_s = max(elapsed_s, shard_elapsed)
         for name, count in census.items():
             per_class[name] = per_class.get(name, 0) + count
+        obs.merge(shard_snapshot)
     events.sort(key=lambda event: (event.timestamp, event.link, event.index))
     setup_s = max(wall_s - elapsed_s, 0.0)
+    obs.gauge("fleet.setup_s", setup_s)
+    obs.gauge("fleet.schedule_s", elapsed_s)
+    obs.gauge("fleet.wall_s", wall_s)
     return FleetReport(
         links=config.links,
         workers=len(shards),

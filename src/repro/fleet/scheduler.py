@@ -18,18 +18,22 @@ ones sequential per-link :meth:`~repro.api.session.StreamingSession.push`
 would produce — for any batch size and any link interleaving.  The flush
 delay is what the scheduler *measures*: each ready window records its
 completion instant, and the arrival-to-emission latency of every event is
-reported alongside throughput.
+reported alongside throughput.  All timestamps come from the
+:mod:`repro.obs` clock seam — wall clock by default, a
+:class:`~repro.obs.clock.ManualClock` under test — and feed the stats only,
+never the events or their digest.
 """
 
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
 from repro.api.monitor import score_windows_batch
 from repro.api.session import DetectionEvent, StreamingSession
+from repro.obs.clock import Clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.csi.trace import CSITrace
@@ -73,12 +77,19 @@ class FleetScheduler:
         trade latency for vectorization (the batch scorer stacks all
         baseline-detector windows into one NumPy pass).  Events are
         bit-identical for every value.
+    clock:
+        Time source for the throughput and latency stamps; defaults to the
+        active :mod:`repro.obs` clock (wall clock unless a recorder with a
+        :class:`~repro.obs.clock.ManualClock` is installed).
     """
 
-    def __init__(self, *, batch_windows: int = 32) -> None:
+    def __init__(
+        self, *, batch_windows: int = 32, clock: Clock | None = None
+    ) -> None:
         if batch_windows < 1:
             raise ValueError(f"batch_windows must be >= 1, got {batch_windows}")
         self.batch_windows = batch_windows
+        self.clock = clock
 
     def run(
         self, streams: Sequence[tuple[StreamingSession, "LinkTraffic"]]
@@ -94,6 +105,7 @@ class FleetScheduler:
                     f"streams must pair StreamingSessions with traffic, "
                     f"got {type(session).__name__}"
                 )
+        clock = self.clock if self.clock is not None else obs.active_clock()
         events: list[DetectionEvent] = []
         latencies: list[float] = []
         pending: list[tuple[StreamingSession, "CSITrace", float]] = []
@@ -102,8 +114,11 @@ class FleetScheduler:
             if not pending:
                 return
             flushed = score_windows_batch([(s, w) for s, w, _ in pending])
-            emitted_at = time.perf_counter()  # repro: allow-det003 -- wall clock feeds the latency stats only, never the events or their digest
-            latencies.extend(emitted_at - ready_at for _, _, ready_at in pending)
+            emitted_at = clock.now()
+            for _, _, ready_at in pending:
+                latency = emitted_at - ready_at
+                latencies.append(latency)
+                obs.observe("fleet.latency_s", latency)
             events.extend(flushed)
             pending.clear()
 
@@ -119,16 +134,14 @@ class FleetScheduler:
 
         arrivals = 0
         windows = 0
-        started_at = time.perf_counter()  # repro: allow-det003 -- throughput timer; stats only, never the event stream
+        started_at = clock.now()
         while heap:
             _, position, index = heapq.heappop(heap)
             session, traffic = streams[position]
             arrivals += 1
             if session.advance(traffic.frame(index)):
                 windows += 1
-                pending.append(
-                    (session, session.pending_window(), time.perf_counter())  # repro: allow-det003 -- arrival-to-emission latency stamp; stats only, never the event stream
-                )
+                pending.append((session, session.pending_window(), clock.now()))
                 if len(pending) >= self.batch_windows:
                     flush()
             if index + 1 < traffic.num_arrivals:
@@ -136,7 +149,9 @@ class FleetScheduler:
                     heap, (float(traffic.arrivals[index + 1]), position, index + 1)
                 )
         flush()
-        elapsed = time.perf_counter() - started_at  # repro: allow-det003 -- throughput timer; stats only, never the event stream
+        elapsed = clock.now() - started_at
+        obs.count("fleet.arrivals", arrivals)
+        obs.count("fleet.windows", windows)
         return events, ScheduleStats(
             arrivals=arrivals,
             windows=windows,

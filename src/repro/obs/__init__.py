@@ -1,0 +1,96 @@
+"""Deterministic-safe observability: clock seam, metrics, spans, exporters.
+
+The package instrumented code imports as a whole::
+
+    from repro import obs
+
+    with obs.span("collect.synthesize"):
+        ...
+    obs.count("collect.packets", batch)
+
+Observability is **off by default** — the module-level recorder is a shared
+no-op, so the calls above cost nothing measurable in hot loops.  Drivers
+enable it for one run with :func:`~repro.obs.trace.recording` and export the
+resulting :class:`~repro.obs.trace.ObsSnapshot` via
+:mod:`repro.obs.export`.  Recording never perturbs the measured
+computation: every score, event and sha256 digest is byte-identical with
+observability on or off (enforced by the parity tests).
+
+See :mod:`repro.obs.clock` for the clock-seam rule: this package is the
+single sanctioned wall-clock source outside the CLI entry points.
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock
+from repro.obs.export import (
+    REPORTERS,
+    load_jsonl,
+    markdown_report,
+    prometheus_report,
+    snapshot_to_jsonl,
+    text_report,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    ObsSnapshot,
+    Recorder,
+    SpanRecord,
+    active_clock,
+    count,
+    enabled,
+    gauge,
+    get_recorder,
+    merge,
+    observe,
+    recording,
+    set_recorder,
+    shard_recording,
+    span,
+)
+
+__all__ = [
+    "MONOTONIC",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "REPORTERS",
+    "load_jsonl",
+    "markdown_report",
+    "prometheus_report",
+    "snapshot_to_jsonl",
+    "text_report",
+    "write_jsonl",
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsSnapshot",
+    "Recorder",
+    "SpanRecord",
+    "active_clock",
+    "count",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "merge",
+    "observe",
+    "recording",
+    "set_recorder",
+    "shard_recording",
+    "span",
+]

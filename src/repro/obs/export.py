@@ -1,0 +1,264 @@
+"""Render an :class:`~repro.obs.trace.ObsSnapshot` for files, CI and humans.
+
+Four formats, mirroring :mod:`repro.analysis.reporters`:
+
+* ``jsonl`` — one self-describing line per record (:func:`write_jsonl` /
+  :func:`load_jsonl`); the ``--obs-out`` artifact format, round-trippable.
+* ``prometheus`` — text exposition format (cumulative ``le`` buckets,
+  ``_sum``/``_count`` series) for scrape-style consumers.
+* ``markdown`` — stage latency table plus counters/gauges for
+  ``$GITHUB_STEP_SUMMARY``.
+* ``text`` — the markdown report minus table syntax; default terminal output.
+
+All formats are deterministic in *layout*: names sort lexically and
+histogram bucket bounds are construction-time constants, so two runs of the
+same workload differ only in the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot
+from repro.obs.trace import ObsSnapshot, SpanRecord
+
+#: Schema version stamped on the JSONL meta line.
+JSONL_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# JSONL round trip
+# --------------------------------------------------------------------------- #
+def snapshot_to_jsonl(snapshot: ObsSnapshot) -> Iterator[str]:
+    """Yield one JSON line per record: a meta line, then metrics, then spans."""
+    yield json.dumps({"kind": "meta", "version": JSONL_VERSION}, sort_keys=True)
+    metrics = snapshot.metrics
+    for name in sorted(metrics.counters):
+        yield json.dumps(
+            {"kind": "counter", "name": name, "value": metrics.counters[name]},
+            sort_keys=True,
+        )
+    for name in sorted(metrics.gauges):
+        yield json.dumps(
+            {"kind": "gauge", "name": name, "value": metrics.gauges[name]},
+            sort_keys=True,
+        )
+    for name in sorted(metrics.histograms):
+        record: dict[str, Any] = {"kind": "histogram", "name": name}
+        record.update(metrics.histograms[name].to_dict())
+        yield json.dumps(record, sort_keys=True)
+    for span in snapshot.spans:
+        span_record: dict[str, Any] = {"kind": "span"}
+        span_record.update(span.to_dict())
+        yield json.dumps(span_record, sort_keys=True)
+
+
+def write_jsonl(snapshot: ObsSnapshot, path: str | Path) -> int:
+    """Write *snapshot* to *path* as JSONL; returns the number of lines."""
+    lines = list(snapshot_to_jsonl(snapshot))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def load_jsonl(path: str | Path) -> ObsSnapshot:
+    """Rebuild a snapshot from a :func:`write_jsonl` file.
+
+    Malformed lines raise ``ValueError`` naming the file and line number,
+    matching the CLI's error convention for persisted event streams.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such metrics file: {path}")
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramSnapshot] = {}
+    spans: list[SpanRecord] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{number}: malformed metrics line: {error}")
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{number}: metrics line must be a JSON object")
+        kind = record.pop("kind", None)
+        try:
+            if kind == "meta":
+                version = record.get("version")
+                if version != JSONL_VERSION:
+                    raise ValueError(
+                        f"unsupported metrics version {version!r} "
+                        f"(expected {JSONL_VERSION})"
+                    )
+            elif kind == "counter":
+                counters[str(record["name"])] = int(record["value"])
+            elif kind == "gauge":
+                gauges[str(record["name"])] = float(record["value"])
+            elif kind == "histogram":
+                name = str(record.pop("name"))
+                histograms[name] = HistogramSnapshot.from_dict(record)
+            elif kind == "span":
+                spans.append(SpanRecord.from_dict(record))
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"{path}:{number}: {error}")
+    return ObsSnapshot(
+        metrics=MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        ),
+        spans=tuple(spans),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+def _prometheus_name(name: str) -> str:
+    """A metric name sanitised to the Prometheus charset, ``repro_``-prefixed."""
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    """A float rendered compactly but round-trippably (``repr`` semantics)."""
+    return repr(float(value))
+
+
+def prometheus_report(snapshot: ObsSnapshot) -> str:
+    """The metrics in Prometheus text exposition format (spans excluded)."""
+    metrics = snapshot.metrics
+    lines: list[str] = []
+    for name in sorted(metrics.counters):
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {metrics.counters[name]}")
+    for name in sorted(metrics.gauges):
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(metrics.gauges[name])}")
+    for name in sorted(metrics.histograms):
+        histogram = metrics.histograms[name]
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(histogram.bounds, histogram.counts):
+            cumulative += bucket_count
+            lines.append(f'{prom}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{prom}_sum {_format_value(histogram.sum)}")
+        lines.append(f"{prom}_count {histogram.count}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# human-facing summaries
+# --------------------------------------------------------------------------- #
+def _stage_rows(snapshot: ObsSnapshot) -> list[tuple[str, int, float, float, float]]:
+    """(name, count, p50_s, p99_s, total_s) per histogram, sorted by name."""
+    rows = []
+    for name in sorted(snapshot.metrics.histograms):
+        histogram = snapshot.metrics.histograms[name]
+        rows.append(
+            (
+                name,
+                histogram.count,
+                histogram.percentile(50),
+                histogram.percentile(99),
+                histogram.sum,
+            )
+        )
+    return rows
+
+
+def _time_split_line(snapshot: ObsSnapshot) -> str | None:
+    """The setup-vs-scheduling split, when the fleet gauges are present."""
+    gauges = snapshot.metrics.gauges
+    if "fleet.setup_s" not in gauges or "fleet.schedule_s" not in gauges:
+        return None
+    setup = gauges["fleet.setup_s"]
+    schedule = gauges["fleet.schedule_s"]
+    total = setup + schedule
+    if total > 0:
+        share = f" ({100.0 * setup / total:.1f}% setup)"
+    else:
+        share = ""
+    return (
+        f"Time split: setup {setup:.3f} s vs scheduling {schedule:.3f} s{share}"
+    )
+
+
+def markdown_report(snapshot: ObsSnapshot) -> str:
+    """Markdown summary for CI job summaries: stage latencies, then scalars."""
+    lines = ["### Observability (`repro obs report`)", ""]
+    rows = _stage_rows(snapshot)
+    if rows:
+        lines.append("| Stage | Count | p50 | p99 | Total |")
+        lines.append("| --- | ---: | ---: | ---: | ---: |")
+        for name, count, p50, p99, total in rows:
+            lines.append(
+                f"| `{name}` | {count} | {p50 * 1e3:.3f} ms "
+                f"| {p99 * 1e3:.3f} ms | {total:.3f} s |"
+            )
+    else:
+        lines.append("_no stage timings recorded_")
+    split = _time_split_line(snapshot)
+    if split is not None:
+        lines.append("")
+        lines.append(split)
+    scalars = []
+    for name in sorted(snapshot.metrics.counters):
+        scalars.append((name, str(snapshot.metrics.counters[name])))
+    for name in sorted(snapshot.metrics.gauges):
+        scalars.append((name, f"{snapshot.metrics.gauges[name]:.6g}"))
+    if scalars:
+        lines.append("")
+        lines.append("| Metric | Value |")
+        lines.append("| --- | ---: |")
+        for name, value in scalars:
+            lines.append(f"| `{name}` | {value} |")
+    if snapshot.spans:
+        lines.append("")
+        lines.append(f"{len(snapshot.spans)} span(s) recorded")
+    return "\n".join(lines)
+
+
+def text_report(snapshot: ObsSnapshot) -> str:
+    """Plain-text summary: aligned stage table, then counters and gauges."""
+    lines: list[str] = []
+    rows = _stage_rows(snapshot)
+    if rows:
+        name_width = max(len("stage"), max(len(name) for name, *_ in rows))
+        header = (
+            f"{'stage':<{name_width}}  {'count':>8}  {'p50_ms':>10}  "
+            f"{'p99_ms':>10}  {'total_s':>10}"
+        )
+        lines.append(header)
+        for name, count, p50, p99, total in rows:
+            lines.append(
+                f"{name:<{name_width}}  {count:>8}  {p50 * 1e3:>10.3f}  "
+                f"{p99 * 1e3:>10.3f}  {total:>10.3f}"
+            )
+    else:
+        lines.append("no stage timings recorded")
+    split = _time_split_line(snapshot)
+    if split is not None:
+        lines.append(split)
+    for name in sorted(snapshot.metrics.counters):
+        lines.append(f"{name} = {snapshot.metrics.counters[name]}")
+    for name in sorted(snapshot.metrics.gauges):
+        lines.append(f"{name} = {snapshot.metrics.gauges[name]:.6g}")
+    if snapshot.spans:
+        lines.append(f"{len(snapshot.spans)} span(s) recorded")
+    return "\n".join(lines)
+
+
+#: Name -> renderer, the CLI's ``--format`` choices for ``repro obs report``.
+REPORTERS: dict[str, Callable[[ObsSnapshot], str]] = {
+    "text": text_report,
+    "markdown": markdown_report,
+    "prometheus": prometheus_report,
+}

@@ -1,0 +1,327 @@
+"""Deterministic-layout metrics: counters, gauges and log-bucket histograms.
+
+The observed *values* are wall-clock measurements and therefore vary run to
+run, but everything structural is deterministic: histogram bucket bounds are
+fixed constants (log-spaced), snapshots serialise in sorted name order, and
+merging worker snapshots is an in-order, commutative-per-name addition — so
+two runs of the same workload export byte-identical *layouts* and the
+exporters (:mod:`repro.obs.export`) never depend on timing for their shape.
+
+Everything here is plain-Python and allocation-light: ``observe``/``inc``
+are a bisect and two adds, suitable for per-window call rates.  Snapshots
+(:class:`MetricsSnapshot`) are immutable, JSON-round-trippable values that
+process-pool workers return alongside their results for in-order merge into
+the parent's registry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.utils.validation import check_known_keys
+
+#: Fixed log-spaced latency bucket bounds, in seconds: 1 µs to 100 s with
+#: four buckets per decade, plus an implicit overflow bucket.  Bounds are
+#: module constants — never derived from data — so exported histogram
+#: layouts are deterministic even though the recorded timings are not.
+DEFAULT_LATENCY_BOUNDS_S: tuple[float, ...] = tuple(
+    10.0 ** (exponent / 4.0) for exponent in range(-24, 9)
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time float metric (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with log-spaced bounds.
+
+    Bucket ``i`` counts observations with ``value <= bounds[i]`` and
+    ``value > bounds[i - 1]`` (Prometheus ``le`` semantics); one extra
+    overflow bucket counts values above the last bound.  The bounds are
+    fixed at construction — an observation never reshapes the layout.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_S
+    ) -> None:
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> "HistogramSnapshot":
+        """An immutable copy of the current state."""
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self.counts),
+            count=self.count,
+            sum=self.sum,
+            min=self.min,
+            max=self.max,
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state: bucket layout plus aggregate stats."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    sum: float
+    min: float | None
+    max: float | None
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-th percentile (0..100) from the fixed buckets.
+
+        Returns the upper bound of the bucket holding the rank, clamped to
+        the observed ``[min, max]`` — an upper-bound estimate whose error is
+        bounded by the log bucket width.  Returns 0.0 when empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * count), >= 1
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    estimate = self.bounds[index]
+                else:  # overflow bucket: all we know is the observed max
+                    estimate = self.max if self.max is not None else 0.0
+                break
+        else:  # pragma: no cover - counts always sum to count
+            estimate = self.max if self.max is not None else 0.0
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        return estimate
+
+    def to_dict(self) -> dict[str, Any]:
+        """The snapshot as a plain JSON-serialisable dict (``from_dict`` inverse)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HistogramSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        check_known_keys(
+            "HistogramSnapshot",
+            data,
+            ("bounds", "counts", "count", "sum", "min", "max"),
+            required=("bounds", "counts", "count", "sum"),
+        )
+        return cls(
+            bounds=tuple(float(bound) for bound in data["bounds"]),
+            counts=tuple(int(count) for count in data["counts"]),
+            count=int(data["count"]),
+            sum=float(data["sum"]),
+            min=None if data.get("min") is None else float(data["min"]),
+            max=None if data.get("max") is None else float(data["max"]),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable state of a whole registry, safe to ship between processes.
+
+    Workers sharded over a process pool return one of these alongside their
+    results; the parent merges them back in shard order
+    (:meth:`MetricsRegistry.merge`), so the merged registry is identical for
+    any worker count *given the same per-worker observations*.
+    """
+
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramSnapshot]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The snapshot as a plain JSON-serialisable dict, keys sorted."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        check_known_keys(
+            "MetricsSnapshot",
+            data,
+            ("counters", "gauges", "histograms"),
+            required=("counters", "gauges", "histograms"),
+        )
+        return cls(
+            counters={str(k): int(v) for k, v in data["counters"].items()},
+            gauges={str(k): float(v) for k, v in data["gauges"].items()},
+            histograms={
+                str(k): HistogramSnapshot.from_dict(v)
+                for k, v in data["histograms"].items()
+            },
+        )
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """A snapshot with no metrics at all."""
+        return cls(counters={}, gauges={}, histograms={})
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges and histograms with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # instruments
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_S
+    ) -> Histogram:
+        """The histogram called *name*, created on first use.
+
+        Asking for an existing histogram with different bounds is an error —
+        a name's bucket layout is fixed for the registry's lifetime.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        elif histogram.bounds != tuple(float(bound) for bound in bounds):
+            raise ValueError(
+                f"histogram {name!r} already exists with different bucket bounds"
+            )
+        return histogram
+
+    def __iter__(self) -> Iterator[str]:
+        yield from sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    # ------------------------------------------------------------------ #
+    # snapshot / merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of every instrument, keyed by name."""
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={name: h.snapshot() for name, h in self._histograms.items()},
+        )
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this registry.
+
+        Counters and histogram buckets add; gauges take the snapshot's value
+        (last write wins, so merge shards in a deterministic order).  A
+        histogram whose bounds disagree with the local layout is an error.
+        """
+        for name in sorted(snapshot.counters):
+            self.counter(name).inc(snapshot.counters[name])
+        for name in sorted(snapshot.gauges):
+            self.gauge(name).set(snapshot.gauges[name])
+        for name in sorted(snapshot.histograms):
+            incoming = snapshot.histograms[name]
+            histogram = self.histogram(name, bounds=incoming.bounds)
+            for index, bucket_count in enumerate(incoming.counts):
+                histogram.counts[index] += bucket_count
+            histogram.count += incoming.count
+            histogram.sum += incoming.sum
+            if incoming.min is not None and (
+                histogram.min is None or incoming.min < histogram.min
+            ):
+                histogram.min = incoming.min
+            if incoming.max is not None and (
+                histogram.max is None or incoming.max > histogram.max
+            ):
+                histogram.max = incoming.max

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.channel.channel import Link
 from repro.experiments.runner import (
     EvaluationConfig,
@@ -48,6 +49,29 @@ def _run_point_case(
     monkeypatch it to count exactly which work units a run executes.
     """
     return run_case(link, config, case_seed=case_seed)
+
+
+#: What one work unit ships back: the scored windows plus the unit's
+#: observability snapshot (``None`` when observability is off).
+_UnitResult = tuple[list[ScoredWindow], "obs.ObsSnapshot | None"]
+
+
+def _timed_point_case(
+    link: Link, config: EvaluationConfig, case_seed: int, obs_enabled: bool = False
+) -> _UnitResult:
+    """Run one work unit under its own :mod:`repro.obs` recorder.
+
+    Calls :func:`_run_point_case` through the module global so the resume
+    tests' monkeypatch seam keeps working in both execution paths.  When
+    observability is on, the unit's per-case timing lands in a
+    ``sweep.case`` span and the snapshot rides home with the windows for
+    in-order merge (process-pool workers don't share the parent's recorder).
+    """
+    with obs.shard_recording(obs_enabled) as recorder:
+        with obs.span("sweep.case"):
+            windows = _run_point_case(link, config, case_seed)
+        snapshot = recorder.snapshot() if recorder is not None else None
+    return windows, snapshot
 
 
 @dataclass(frozen=True)
@@ -176,11 +200,23 @@ class SweepRunner:
 
         executed: list[str] = []
         new_records: list[SweepRecord] = []
+        obs_enabled = obs.enabled()
 
-        def complete_point(point: SweepPoint, per_case: Sequence[list[ScoredWindow]]) -> None:
+        def complete_point(point: SweepPoint, per_case: Sequence[_UnitResult]) -> None:
             windows: list[ScoredWindow] = []
-            for case_windows in per_case:
+            point_s = 0.0
+            # Merge case snapshots in case order, so the combined metrics are
+            # structurally identical for any worker count.
+            for case_windows, snapshot in per_case:
                 windows.extend(case_windows)
+                obs.merge(snapshot)
+                if snapshot is not None:
+                    case_histogram = snapshot.metrics.histograms.get("sweep.case")
+                    if case_histogram is not None:
+                        point_s += case_histogram.sum
+            if obs_enabled:
+                obs.observe("sweep.point_s", point_s)
+                obs.count("sweep.points", 1)
             result = EvaluationResult(windows=windows, config=point.config)
             record = SweepRecord.from_point(point, result)
             self.store.append(record)
@@ -195,7 +231,7 @@ class SweepRunner:
                 complete_point(
                     point,
                     [
-                        _run_point_case(link, p.config, seed)
+                        _timed_point_case(link, p.config, seed, obs_enabled)
                         for p, link, seed in tasks[i * len(cases) : (i + 1) * len(cases)]
                     ],
                 )
@@ -208,7 +244,9 @@ class SweepRunner:
 
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 futures = [
-                    executor.submit(_run_point_case, link, point.config, seed)
+                    executor.submit(
+                        _timed_point_case, link, point.config, seed, obs_enabled
+                    )
                     for point, link, seed in tasks
                 ]
                 # Collect as-completed, flush in submission order: results of
@@ -222,7 +260,7 @@ class SweepRunner:
                 # until its own point flushes — buffers are popped as points
                 # complete).
                 index_of = {future: i for i, future in enumerate(futures)}
-                buffered: dict[int, list[ScoredWindow]] = {}
+                buffered: dict[int, _UnitResult] = {}
                 next_unit = 0
 
                 def flush_ready() -> None:
