@@ -32,6 +32,26 @@ def fleet_config() -> FleetConfig:
     )
 
 
+def test_fleet_1000_links_setup_only(benchmark):
+    """Traffic synthesis for the 1,000-link population, scheduling excluded.
+
+    Setup dominates a fleet run's wall-clock; the batched builder shares
+    clean-CFR synthesis per geometry and one impairment plan per link.
+    Tracked separately from the end-to-end run so a setup regression is
+    visible even when scheduling noise hides it.
+    """
+    from repro.fleet.engine import _build_shard_traffic
+
+    config = fleet_config()
+    indices = list(range(config.links))
+
+    traffics = benchmark.pedantic(
+        lambda: _build_shard_traffic(config, indices), rounds=1, iterations=1
+    )
+    assert len(traffics) == config.links
+    assert all(traffic.num_arrivals > 0 for traffic in traffics)
+
+
 def test_fleet_1000_links_batched_scheduler(benchmark):
     """Wall-clock of a 1,000-link fleet run (traffic synthesis + scheduling)."""
     config = fleet_config()

@@ -21,8 +21,8 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
-from repro.core.detector import BaselineDetector
-from repro.csi.calibration import sanitize_csi_array, sanitize_trace
+from repro.core.detector import BaselineDetector, shares_sanitized_view
+from repro.csi.calibration import sanitize_trace, sanitize_traces
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
@@ -221,10 +221,12 @@ def _batch_baseline_scores(
     antenna average reduce along the trailing axes — elementwise identical to
     the per-link computation, so the scores are bit-identical.
 
-    Windows requiring phase sanitisation are concatenated along the packet
-    axis and cleaned by a single batched
-    :func:`~repro.csi.calibration.sanitize_csi_array` call (the per-frame
-    fits are independent, so stacking windows changes nothing bit-wise).
+    Windows requiring phase sanitisation are cleaned by
+    :func:`~repro.csi.calibration.sanitize_traces`: one batched
+    :func:`~repro.csi.calibration.sanitize_csi_array` call per subcarrier
+    grid (the per-frame fits are independent, so stacking windows changes
+    nothing bit-wise), so windows spanning several grids still batch per
+    group instead of dropping to a scalar per-window loop.
     """
     batch = list(batch)
     windows = [window for _, _, window in batch]
@@ -232,22 +234,10 @@ def _batch_baseline_scores(
         i for i, (_, session, _) in enumerate(batch) if session.detector.sanitize
     ]
     means: list[np.ndarray | None] = [None] * len(batch)
-    # Tuple-ify before hashing: trace/frame validation also accepts list or
-    # ndarray subcarrier grids, which are unhashable as-is.
-    grids = {tuple(windows[i].subcarrier_indices) for i in sanitized_positions}
-    if sanitized_positions and len(grids) == 1:
-        stacked = np.concatenate(
-            [windows[i].csi for i in sanitized_positions], axis=0
-        )
-        cleaned = sanitize_csi_array(
-            stacked, np.asarray(next(iter(grids)), dtype=float)
-        )
-        packets = windows[sanitized_positions[0]].num_packets
-        for n, i in enumerate(sanitized_positions):
-            means[i] = np.abs(cleaned[n * packets : (n + 1) * packets]).mean(axis=0)
-    else:  # mixed subcarrier grids: sanitise per window
-        for i in sanitized_positions:
-            means[i] = sanitize_trace(windows[i]).mean_amplitude()
+    if sanitized_positions:
+        cleaned = sanitize_traces([windows[i] for i in sanitized_positions])
+        for clean, i in zip(cleaned, sanitized_positions):
+            means[i] = clean.mean_amplitude()
     for i, window in enumerate(windows):
         if means[i] is None:
             means[i] = window.mean_amplitude()
@@ -256,3 +246,60 @@ def _batch_baseline_scores(
     stacked_profiles = np.stack(profiles)
     distances = np.linalg.norm(stacked_means - stacked_profiles, axis=2)
     return distances.mean(axis=1)
+
+
+def calibrate_shared(detectors: Mapping[str, object], baseline: CSITrace) -> None:
+    """Calibrate several detectors from one baseline, sanitising it once.
+
+    Detectors that keep the base-class prepare/compute split (see
+    :func:`~repro.core.detector.shares_sanitized_view`) receive one shared
+    ``sanitize_trace(baseline)`` via ``calibrate_prepared``; everything else
+    gets the raw trace through its own ``calibrate``.  Either way each
+    detector ends up in the state its standalone ``calibrate`` would have
+    produced, bit for bit.
+    """
+    prepared: CSITrace | None = None
+    for detector in detectors.values():
+        if shares_sanitized_view(detector):
+            if prepared is None:
+                prepared = sanitize_trace(baseline)
+            detector.calibrate_prepared(prepared)  # type: ignore[attr-defined]
+        else:
+            detector.calibrate(baseline)  # type: ignore[attr-defined]
+
+
+def score_windows_shared(
+    detectors: Mapping[str, object], windows: Sequence[CSITrace]
+) -> dict[str, list[float]]:
+    """Score every window under every detector, sanitising each window once.
+
+    The windows are cleaned in one grouped
+    :func:`~repro.csi.calibration.sanitize_traces` pass and the sanitised
+    views handed to every detector that can share them (via
+    ``score_prepared``); detectors with custom plumbing score the raw
+    windows through their own ``score``.  Scores are bit-identical to
+    calling ``detector.score(window)`` for every (detector, window) pair —
+    the historical per-scheme path — because the per-frame phase fits are
+    independent of the batch they run in.
+
+    Returns a mapping from detector name to the per-window score list, in
+    *windows* order.
+    """
+    windows = list(windows)
+    shared_names = {
+        name for name, detector in detectors.items() if shares_sanitized_view(detector)
+    }
+    prepared = sanitize_traces(windows) if shared_names and windows else []
+    scores: dict[str, list[float]] = {}
+    for name, detector in detectors.items():
+        if name in shared_names:
+            scores[name] = [
+                float(detector.score_prepared(window))  # type: ignore[attr-defined]
+                for window in prepared
+            ]
+        else:
+            scores[name] = [
+                float(detector.score(window))  # type: ignore[attr-defined]
+                for window in windows
+            ]
+    return scores

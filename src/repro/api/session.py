@@ -22,8 +22,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from repro.core.detector import shares_sanitized_view
+from repro.csi.calibration import sanitize_trace
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
@@ -192,12 +194,35 @@ class StreamingSession:
         empty-window score times :attr:`threshold_margin`, i.e. the tightest
         threshold that would have produced zero false alarms on the
         calibration data plus a safety margin.
+
+        Detectors that keep the base-class prepare/compute split (see
+        :func:`~repro.core.detector.shares_sanitized_view`) are calibrated
+        from one shared ``sanitize_trace(baseline)``, whose window slices
+        also feed the threshold replay — one sanitisation pass instead of
+        one per calibration plus one per replayed window, bit-identical to
+        the standalone path because the per-frame phase fits are
+        independent.
         """
+        if shares_sanitized_view(self.detector):
+            prepared = sanitize_trace(baseline)
+            self.detector.calibrate_prepared(prepared)
+            if self.threshold_policy == "calibration":
+                self.threshold = self._calibration_threshold(
+                    prepared, scorer=self.detector.score_prepared
+                )
+            return
         self.detector.calibrate(baseline)
         if self.threshold_policy == "calibration":
             self.threshold = self._calibration_threshold(baseline)
 
-    def _calibration_threshold(self, baseline: CSITrace) -> float:
+    def _calibration_threshold(
+        self,
+        baseline: CSITrace,
+        *,
+        scorer: "Callable[[CSITrace], float] | None" = None,
+    ) -> float:
+        if scorer is None:
+            scorer = self.detector.score
         num_windows = baseline.num_packets // self.window_packets
         if num_windows < 1:
             raise ValueError(
@@ -206,9 +231,7 @@ class StreamingSession:
                 f"of {self.window_packets}"
             )
         scores = [
-            self.detector.score(
-                baseline[i * self.window_packets : (i + 1) * self.window_packets]
-            )
+            scorer(baseline[i * self.window_packets : (i + 1) * self.window_packets])
             for i in range(num_windows)
         ]
         return float(max(scores)) * self.threshold_margin

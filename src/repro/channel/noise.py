@@ -215,12 +215,15 @@ class ImpairmentModel:
             Either one clean CFR of shape ``(antennas, subcarriers)`` (a
             static scene; *num_packets* is required) or a stack of candidate
             CFRs of shape ``(candidates, antennas, subcarriers)`` (for
-            example one per trajectory position; at most one packet per
-            candidate).
+            example one per trajectory position, or one per monitoring
+            window of a whole case).
         subcarrier_indices:
             Intel-5300 subcarrier indices (for the SFO phase slope).
         num_packets:
-            Plan capacity for the single-CFR form.
+            Plan capacity.  Required for the single-CFR form; for a
+            candidate stack it defaults to one packet per candidate and may
+            be set higher when candidates repeat (e.g. many packets of the
+            same static window drawn against one shared plan).
         """
         return ImpairmentDrawPlan(self, cleans, subcarrier_indices, num_packets=num_packets)
 
@@ -274,13 +277,10 @@ class ImpairmentDrawPlan:
             candidates = cleans[None, :, :]
             capacity = num_packets
         elif cleans.ndim == 3:
-            if num_packets is not None and num_packets != cleans.shape[0]:
-                raise ValueError(
-                    f"num_packets={num_packets} conflicts with a stack of "
-                    f"{cleans.shape[0]} candidate CFRs"
-                )
+            if num_packets is not None and num_packets < 1:
+                raise ValueError(f"num_packets must be >= 1, got {num_packets}")
             candidates = cleans
-            capacity = cleans.shape[0]
+            capacity = cleans.shape[0] if num_packets is None else num_packets
         else:
             raise ValueError(
                 "cleans must have shape (antennas, subcarriers) or "

@@ -362,6 +362,7 @@ def _fleet_config(args: argparse.Namespace):
         ("seed", "seed"),
         ("batch_windows", "batch_windows"),
         ("workers", "max_workers"),
+        ("setup_workers", "setup_workers"),
     ):
         value = getattr(args, attr, None)
         if value is not None:
@@ -721,6 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="ready windows batched across links per scoring flush "
         "(default 32; events are bit-identical for any value)",
+    )
+    fleet_run.add_argument(
+        "--setup-workers",
+        type=int,
+        default=None,
+        help="process-pool width for the traffic-building phase when "
+        "scheduling is single-shard (events are bit-identical for any value)",
     )
     fleet_run.add_argument(
         "--events",

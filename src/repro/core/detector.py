@@ -126,7 +126,18 @@ class DetectionResult:
 
 
 class _BaseDetector:
-    """Common calibration plumbing shared by the three schemes."""
+    """Common calibration plumbing shared by the three schemes.
+
+    The public entry points (:meth:`calibrate`, :meth:`score`) split into a
+    *prepare* half (packet-count validation plus optional phase
+    sanitisation) and a *compute* half (:meth:`_calibrate_prepared`,
+    :meth:`_score_prepared`).  Schemes override only the compute half, which
+    lets a scoring layer that already holds a sanitised view of a window —
+    e.g. one batched :func:`~repro.csi.calibration.sanitize_csi_array` pass
+    shared across every scheme — hand it in directly via
+    :meth:`score_prepared` / :meth:`calibrate_prepared` without changing any
+    detector's standalone behaviour.
+    """
 
     def __init__(self, *, sanitize: bool = True) -> None:
         self.sanitize = sanitize
@@ -136,14 +147,36 @@ class _BaseDetector:
     # ------------------------------------------------------------------ #
     # calibration
     # ------------------------------------------------------------------ #
-    def calibrate(self, baseline: CSITrace) -> None:
-        """Store the static (no human) profile from a calibration trace."""
+    @staticmethod
+    def _check_calibration_trace(baseline: CSITrace) -> None:
         if baseline.num_packets < 2:
             raise ValueError(
                 "calibration requires at least 2 packets, "
                 f"got {baseline.num_packets}"
             )
-        trace = sanitize_trace(baseline) if self.sanitize else baseline
+
+    def calibrate(self, baseline: CSITrace) -> None:
+        """Store the static (no human) profile from a calibration trace."""
+        self._check_calibration_trace(baseline)
+        self._calibrate_prepared(
+            sanitize_trace(baseline) if self.sanitize else baseline
+        )
+
+    def calibrate_prepared(self, baseline: CSITrace) -> None:
+        """Calibrate from an already-prepared (sanitised) baseline.
+
+        *baseline* must be exactly what :meth:`calibrate` would have
+        produced internally — i.e. ``sanitize_trace(raw)`` for a sanitising
+        detector.  Callers batching the sanitisation across several
+        consumers (see :func:`repro.api.monitor.calibrate_shared`) use this
+        to skip the redundant per-detector pass; the stored profile is
+        bit-identical to :meth:`calibrate` on the raw trace.
+        """
+        self._check_calibration_trace(baseline)
+        self._calibrate_prepared(baseline)
+
+    def _calibrate_prepared(self, trace: CSITrace) -> None:
+        """Store the profile from a prepared trace (schemes extend this)."""
         self._calibration_trace = trace
         self._profile_amplitude = trace.mean_amplitude()
 
@@ -168,12 +201,63 @@ class _BaseDetector:
     # ------------------------------------------------------------------ #
     def score(self, window: CSITrace) -> float:
         """Detection statistic of a monitoring window (higher = human)."""
+        self._require_calibration()
+        return self._score_prepared(self._prepare(window))
+
+    def score_prepared(self, window: CSITrace) -> float:
+        """Score an already-prepared (sanitised) monitoring window.
+
+        *window* must be exactly what :meth:`_prepare` would have produced —
+        ``sanitize_trace(raw)`` for a sanitising detector.  The per-frame
+        phase fits of :func:`~repro.csi.calibration.sanitize_csi_array` are
+        independent, so a view sliced out of a larger batched sanitisation
+        pass qualifies; the score is bit-identical to :meth:`score` on the
+        raw window.
+        """
+        self._require_calibration()
+        if window.num_packets < 1:
+            raise ValueError("monitoring window must contain at least one packet")
+        return self._score_prepared(window)
+
+    def _score_prepared(self, window: CSITrace) -> float:
+        """Detection statistic of a prepared window (schemes implement this)."""
         raise NotImplementedError
 
     def detect(self, window: CSITrace, threshold: float) -> DetectionResult:
         """Score a window and compare it against *threshold*."""
         value = self.score(window)
         return DetectionResult(score=value, threshold=threshold, detected=value > threshold)
+
+
+#: Hooks whose override (on the class or the instance) makes a detector
+#: opt out of the shared-sanitised-window path: a custom ``score`` or
+#: ``calibrate`` may not consume a pre-sanitised view at all, and a custom
+#: ``_prepare`` changes what "prepared" means.
+_SHARED_VIEW_HOOKS = ("score", "calibrate", "_prepare")
+
+
+def shares_sanitized_view(detector: object) -> bool:
+    """Whether *detector* may be handed one shared sanitised window view.
+
+    True only for sanitising :class:`_BaseDetector` instances that keep the
+    base-class ``score`` / ``calibrate`` / ``_prepare`` plumbing (overriding
+    just the ``_score_prepared`` / ``_calibrate_prepared`` compute hooks, as
+    the built-in schemes do).  For such detectors
+    ``score_prepared(sanitize_trace(w))`` is bit-identical to ``score(w)``,
+    so one batched sanitisation pass can serve every scheme.  Detectors that
+    override the plumbing — or patch it per instance — fall back to their
+    own standalone path.
+    """
+    if not isinstance(detector, _BaseDetector) or not detector.sanitize:
+        return False
+    instance_attrs = getattr(detector, "__dict__", {})
+    if any(hook in instance_attrs for hook in _SHARED_VIEW_HOOKS):
+        return False
+    cls = type(detector)
+    return all(
+        getattr(cls, hook) is getattr(_BaseDetector, hook)
+        for hook in _SHARED_VIEW_HOOKS
+    )
 
 
 class BaselineDetector(_BaseDetector):
@@ -183,9 +267,7 @@ class BaselineDetector(_BaseDetector):
     monitoring window and the calibration profile, averaged over antennas.
     """
 
-    def score(self, window: CSITrace) -> float:
-        self._require_calibration()
-        window = self._prepare(window)
+    def _score_prepared(self, window: CSITrace) -> float:
         mean_amplitude = window.mean_amplitude()
         assert self._profile_amplitude is not None
         distances = np.linalg.norm(mean_amplitude - self._profile_amplitude, axis=1)
@@ -210,9 +292,7 @@ class SubcarrierWeightingDetector(_BaseDetector):
         super().__init__(sanitize=sanitize)
         self.weighting = SubcarrierWeighting(use_stability_ratio=use_stability_ratio)
 
-    def score(self, window: CSITrace) -> float:
-        self._require_calibration()
-        window = self._prepare(window)
+    def _score_prepared(self, window: CSITrace) -> float:
         assert self._profile_amplitude is not None
         weights = self.weighting.weights_from_trace(window)
         profile_rss = power_to_db(self._profile_amplitude**2)
@@ -285,8 +365,8 @@ class SubcarrierPathWeightingDetector(_BaseDetector):
     # ------------------------------------------------------------------ #
     # calibration
     # ------------------------------------------------------------------ #
-    def calibrate(self, baseline: CSITrace) -> None:
-        super().calibrate(baseline)
+    def _calibrate_prepared(self, trace: CSITrace) -> None:
+        super()._calibrate_prepared(trace)
         assert self._calibration_trace is not None
         # Path weights come from the *unweighted* static environment: this is
         # the calibration-stage MUSIC/Bartlett pass of Section IV-C, which
@@ -357,10 +437,8 @@ class SubcarrierPathWeightingDetector(_BaseDetector):
         monitored, _ = self._weighted_spectra(window)
         return monitored
 
-    def score(self, window: CSITrace) -> float:
-        self._require_calibration()
+    def _score_prepared(self, window: CSITrace) -> float:
         assert self._path_weighting is not None
-        window = self._prepare(window)
         monitored, static = self._weighted_spectra(window)
         weighted_monitored = self._path_weighting.apply(monitored)
         weighted_static = self._path_weighting.apply(static)

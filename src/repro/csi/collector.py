@@ -152,6 +152,90 @@ class PacketCollector:
             label=label,
         )
 
+    def collect_batch(
+        self,
+        cleans: np.ndarray,
+        counts: Sequence[int],
+        *,
+        labels: Sequence[str] | None = None,
+        start_time: float = 0.0,
+    ) -> list[CSITrace]:
+        """Collect several static-scene windows through one impairment plan.
+
+        Byte-identical to calling :meth:`collect` once per window with the
+        corresponding clean CFR: the windows share a single
+        :class:`~repro.channel.noise.ImpairmentDrawPlan` (candidate ``w`` =
+        window ``w``) and the acquisition loop walks the windows in order,
+        making exactly the sequential path's generator calls — loss draw,
+        then impairment draws, per ping, with the loss streak and the time
+        axis restarting at every window boundary just as separate
+        :meth:`collect` calls would.  The impairment arithmetic then runs
+        once for all windows in one vectorised ``plan.apply()``.
+
+        Parameters
+        ----------
+        cleans:
+            Clean CFRs, shape ``(windows, antennas, subcarriers)`` — one
+            static scene per requested window (entries may repeat).
+        counts:
+            Received packets per window, one entry per clean; all >= 1.
+        labels:
+            Optional per-window trace labels (default ``""``).
+        start_time:
+            Time origin of every window (matching ``collect``'s default of
+            ``0.0`` per call).
+        """
+        cleans = np.asarray(cleans, dtype=complex)
+        if cleans.ndim != 3:
+            raise ValueError(
+                f"cleans must have shape (windows, antennas, subcarriers), "
+                f"got {cleans.shape}"
+            )
+        counts = [int(count) for count in counts]
+        if len(counts) != cleans.shape[0]:
+            raise ValueError(
+                f"got {len(counts)} packet counts for {cleans.shape[0]} windows"
+            )
+        if any(count < 1 for count in counts):
+            raise ValueError(f"every window needs >= 1 packets, got {counts}")
+        if labels is not None and len(labels) != len(counts):
+            raise ValueError(
+                f"got {len(labels)} labels for {len(counts)} windows"
+            )
+        interval = 1.0 / self.packet_rate_hz
+        total = sum(counts)
+        with obs.span("collect.synthesize"):
+            plan = self.simulator.impairment_plan(cleans, num_packets=total)
+        timestamps = np.empty(total, dtype=float)
+        with obs.span("collect.impair"):
+            for window, count in enumerate(counts):
+                drawn = 0
+                t = start_time
+                consecutive_losses = 0
+                while drawn < count:
+                    t += interval
+                    if self._ping_lost(consecutive_losses):
+                        consecutive_losses += 1
+                        continue
+                    consecutive_losses = 0
+                    timestamps[plan.num_drawn] = t
+                    plan.draw_next(self._rng, candidate=window)
+                    drawn += 1
+            csi = plan.apply()
+        obs.count("collect.packets", total)
+        traces: list[CSITrace] = []
+        offset = 0
+        for window, count in enumerate(counts):
+            traces.append(
+                CSITrace(
+                    csi=csi[offset : offset + count],
+                    timestamps=timestamps[offset : offset + count],
+                    label=labels[window] if labels is not None else "",
+                )
+            )
+            offset += count
+        return traces
+
     def collect_empty(self, *, num_packets: int, label: str = "empty") -> CSITrace:
         """Collect a static (no human) profile trace."""
         return self.collect(None, num_packets=num_packets, label=label)

@@ -381,22 +381,16 @@ def build_detectors(
 # --------------------------------------------------------------------------- #
 # per-case campaign
 # --------------------------------------------------------------------------- #
-def run_case(
-    link: Link,
-    config: EvaluationConfig,
-    *,
-    case_seed: int | None = None,
-) -> list[ScoredWindow]:
-    """Run the full monitoring campaign for one link case.
+def _case_components(
+    link: Link, config: EvaluationConfig, seed: int
+) -> tuple[ChannelSimulator, PacketCollector, BackgroundDynamics, EnvironmentDrift]:
+    """The four per-case components, seeded in the historical draw order.
 
-    Returns one :class:`ScoredWindow` per (scheme, window).  Positive windows
-    cover every grid location ``windows_per_location`` times; the same number
-    of empty windows is collected interleaved with the same background
-    dynamics and drift.
+    The four sequential integer draws off the case RNG are the seeding
+    contract both campaign paths share: changing the order (or count) would
+    silently re-randomise every published number.
     """
-    seed = config.seed if case_seed is None else case_seed
     rng = ensure_rng(seed)
-
     simulator = ChannelSimulator(
         link,
         propagation=PropagationModel(tx_power=link.tx_power),
@@ -421,6 +415,90 @@ def run_case(
         clutter_reflection=config.clutter_reflection,
         seed=int(rng.integers(0, 2**31 - 1)),
     )
+    return simulator, collector, background, drift
+
+
+def run_case(
+    link: Link,
+    config: EvaluationConfig,
+    *,
+    case_seed: int | None = None,
+) -> list[ScoredWindow]:
+    """Run the full monitoring campaign for one link case.
+
+    Returns one :class:`ScoredWindow` per (scheme, window).  Positive windows
+    cover every grid location ``windows_per_location`` times; the same number
+    of empty windows is collected interleaved with the same background
+    dynamics and drift.
+
+    The case runs as a whole-case array program
+    (:mod:`repro.experiments.case_program`): the window schedule is planned
+    up front, every scene is synthesised in one
+    :meth:`~repro.channel.channel.ChannelSimulator.clean_cfr_batch` call,
+    every packet is impaired through one shared plan
+    (:meth:`~repro.csi.collector.PacketCollector.collect_batch`) and every
+    window is sanitised once and scored by all schemes from that shared view
+    (:func:`~repro.api.monitor.score_windows_shared`).  Scores are
+    bit-identical to the retained window-by-window path,
+    :func:`run_case_reference`, which the parity suite pins.
+    """
+    from repro.api.monitor import calibrate_shared, score_windows_shared
+
+    from repro.experiments.case_program import plan_case
+
+    seed = config.seed if case_seed is None else case_seed
+    simulator, collector, background, drift = _case_components(link, config, seed)
+
+    with obs.span("collect.plan"):
+        plan = plan_case(link, config, background, drift)
+    with obs.span("collect.batch_synthesize"):
+        cleans = simulator.clean_cfr_batch(plan.scenes())
+    traces = collector.collect_batch(cleans, plan.counts(), labels=plan.labels())
+
+    # Calibration (traces[0]): empty monitored area, no drift gain — drift
+    # accumulates *after* calibration.  Gains scale the raw traces before
+    # sanitisation, exactly as the historical path applied them.
+    monitoring = [
+        trace if planned.gain is None else drift.apply_to_trace(trace, planned.gain)
+        for trace, planned in zip(traces[1:], plan.monitoring)
+    ]
+    detectors = build_detectors(link, config)
+    calibrate_shared(detectors, traces[0])
+    scores = score_windows_shared(detectors, monitoring)
+
+    windows: list[ScoredWindow] = []
+    for position, planned in enumerate(plan.monitoring):
+        for scheme in detectors:
+            windows.append(
+                ScoredWindow(
+                    scheme=scheme,
+                    case=link.name,
+                    occupied=planned.occupied,
+                    score=scores[scheme][position],
+                    distance_to_rx_m=planned.distance_to_rx_m,
+                    angle_deg=planned.angle_deg,
+                    location_index=planned.location_index,
+                    window_packets=planned.num_packets,
+                )
+            )
+    return windows
+
+
+def run_case_reference(
+    link: Link,
+    config: EvaluationConfig,
+    *,
+    case_seed: int | None = None,
+) -> list[ScoredWindow]:
+    """The historical window-by-window campaign loop for one link case.
+
+    Retained as the bit-parity reference for :func:`run_case`: it collects,
+    sanitises and scores one window at a time with per-scheme ``score``
+    calls.  The parity suite asserts ``run_case`` reproduces these windows
+    float for float; production callers should use :func:`run_case`.
+    """
+    seed = config.seed if case_seed is None else case_seed
+    simulator, collector, background, drift = _case_components(link, config, seed)
 
     # Calibration: empty monitored area (background may be present far away),
     # no drift applied — it accumulates *after* calibration.

@@ -38,7 +38,7 @@ from repro.obs.trace import ObsSnapshot
 from repro.utils.validation import check_known_keys, check_probability
 
 from repro.fleet.scheduler import FleetScheduler
-from repro.fleet.traffic import RATE_CLASSES, LinkTraffic, build_link_traffic
+from repro.fleet.traffic import RATE_CLASSES, LinkTraffic, build_fleet_traffic
 
 
 def _default_pipeline() -> PipelineConfig:
@@ -85,6 +85,14 @@ class FleetConfig:
     max_workers:
         Process-pool width the population is sharded over; the merged event
         stream is byte-identical for any value.
+    setup_workers:
+        Process-pool width for the traffic-building phase when scheduling
+        runs in a single shard (``max_workers == 1``).  Traffic dominates a
+        large fleet's startup cost; per-link streams are pure functions of
+        ``(seed, link_index)``, so fanning the build out changes no byte of
+        the traffic or the event stream.  ``None`` (default) builds inline;
+        ignored when scheduling itself is sharded (each scheduling shard
+        already builds its own links).
     class_mix:
         Relative population weight per rate class (``normal`` / ``busy`` /
         ``abusive``); weights are normalised, zero-weight classes never
@@ -104,6 +112,7 @@ class FleetConfig:
     pool_packets: int = 50
     occupied_fraction: float = 0.5
     max_workers: int = 1
+    setup_workers: int | None = None
     class_mix: dict[str, float] = field(default_factory=_default_class_mix)
     class_rates_hz: dict[str, float] = field(default_factory=_default_class_rates)
     pipeline: PipelineConfig = field(default_factory=_default_pipeline)
@@ -120,6 +129,15 @@ class FleetConfig:
                 raise ValueError(f"{name} must be an integer, got {value!r}")
             if value < minimum:
                 raise ValueError(f"{name} must be >= {minimum}, got {value}")
+        if self.setup_workers is not None and (
+            isinstance(self.setup_workers, bool)
+            or not isinstance(self.setup_workers, int)
+            or self.setup_workers < 1
+        ):
+            raise ValueError(
+                f"setup_workers must be None or an integer >= 1, "
+                f"got {self.setup_workers!r}"
+            )
         if not isinstance(self.duration_s, (int, float)) or self.duration_s <= 0:
             raise ValueError(f"duration_s must be > 0, got {self.duration_s!r}")
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
@@ -284,44 +302,90 @@ _ShardResult = tuple[
 ]
 
 
-def _run_fleet_shard(
+def _shard_links(indices: Sequence[int]) -> list["Any"]:
+    """The evaluation-case geometry of each link index, aligned one-to-one."""
+    from repro.experiments.scenarios import evaluation_cases
+
+    cases = evaluation_cases()
+    return [cases[index % len(cases)][1] for index in indices]
+
+
+def _build_shard_traffic(config: FleetConfig, indices: Sequence[int]) -> list[LinkTraffic]:
+    """Synthesise one index-shard's traffic through the batched builder."""
+    return build_fleet_traffic(
+        indices,
+        _shard_links(indices),
+        seed=config.seed,
+        pipeline=config.pipeline,
+        duration_s=config.duration_s,
+        pool_packets=config.pool_packets,
+        occupied_fraction=config.occupied_fraction,
+        class_mix=config.class_mix,
+        class_rates_hz=config.class_rates_hz,
+    )
+
+
+def _build_traffic_shard(
     config: FleetConfig, indices: Sequence[int], obs_enabled: bool = False
+) -> tuple[list[LinkTraffic], "ObsSnapshot | None"]:
+    """Setup-pool work unit: one index-shard's traffic plus its obs snapshot.
+
+    Traffic is a pure function of ``(config.seed, link_index)``, so shards
+    built in any process merge (in index order) into the byte-identical
+    population a single process would have built.
+    """
+    with obs.shard_recording(obs_enabled) as recorder:
+        with obs.span("fleet.shard_setup"):
+            traffics = _build_shard_traffic(config, indices)
+        snapshot = recorder.snapshot() if recorder is not None else None
+    return traffics, snapshot
+
+
+def _setup_streams(
+    config: FleetConfig,
+    indices: Sequence[int],
+    traffics: Sequence[LinkTraffic] | None = None,
+) -> tuple[list[tuple[StreamingSession, LinkTraffic]], dict[str, int]]:
+    """Build the (calibrated session, traffic) streams of one shard.
+
+    Traffic comes from :func:`~repro.fleet.traffic.build_fleet_traffic`
+    (geometry-shared clean CFRs, one impairment plan per link) unless
+    prebuilt *traffics* are handed in by the setup pool.
+    """
+    links = _shard_links(indices)
+    if traffics is None:
+        traffics = _build_shard_traffic(config, indices)
+    streams: list[tuple[StreamingSession, LinkTraffic]] = []
+    census: dict[str, int] = {}
+    for link, traffic in zip(links, traffics):
+        session = config.pipeline.session(link, link_name=traffic.profile.name)
+        session.calibrate(traffic.calibration)
+        census[traffic.profile.rate_class] = (
+            census.get(traffic.profile.rate_class, 0) + 1
+        )
+        streams.append((session, traffic))
+    return streams, census
+
+
+def _run_fleet_shard(
+    config: FleetConfig,
+    indices: Sequence[int],
+    obs_enabled: bool = False,
+    traffics: Sequence[LinkTraffic] | None = None,
 ) -> _ShardResult:
     """Build and run one shard of the link population.
 
     Returns ``(events, latencies, arrivals, windows, schedule_elapsed_s,
     class_census, obs_snapshot)``.  Everything a shard needs is rebuilt from
-    the config and its link indices, so shards are independent of each other
-    and of the process they run in.  When *obs_enabled*, the shard records
-    into its own :mod:`repro.obs` recorder and ships the snapshot home for
-    in-order merge (process pools don't share the parent's recorder).
+    the config and its link indices (unless prebuilt *traffics* are handed
+    in), so shards are independent of each other and of the process they run
+    in.  When *obs_enabled*, the shard records into its own :mod:`repro.obs`
+    recorder and ships the snapshot home for in-order merge (process pools
+    don't share the parent's recorder).
     """
-    from repro.experiments.scenarios import evaluation_cases
-
     with obs.shard_recording(obs_enabled) as recorder:
         with obs.span("fleet.shard_setup"):
-            cases = evaluation_cases()
-            streams: list[tuple[StreamingSession, LinkTraffic]] = []
-            census: dict[str, int] = {}
-            for index in indices:
-                _, link = cases[index % len(cases)]
-                traffic = build_link_traffic(
-                    index,
-                    link,
-                    seed=config.seed,
-                    pipeline=config.pipeline,
-                    duration_s=config.duration_s,
-                    pool_packets=config.pool_packets,
-                    occupied_fraction=config.occupied_fraction,
-                    class_mix=config.class_mix,
-                    class_rates_hz=config.class_rates_hz,
-                )
-                session = config.pipeline.session(link, link_name=traffic.profile.name)
-                session.calibrate(traffic.calibration)
-                census[traffic.profile.rate_class] = (
-                    census.get(traffic.profile.rate_class, 0) + 1
-                )
-                streams.append((session, traffic))
+            streams, census = _setup_streams(config, indices, traffics)
         scheduler = FleetScheduler(batch_windows=config.batch_windows)
         with obs.span("fleet.schedule"):
             events, stats = scheduler.run(streams)
@@ -356,6 +420,13 @@ def run_fleet(config: FleetConfig, *, max_workers: int | None = None) -> FleetRe
         per shard; the merged, canonically ordered event stream is
         byte-identical for any worker count (per-link traffic and scores are
         pure functions of the config).
+
+    Notes
+    -----
+    With single-shard scheduling, ``config.setup_workers`` additionally fans
+    the traffic-building phase (the startup cost that dominates large
+    fleets) across a process pool — again without changing a byte of the
+    event stream.
     """
     workers = config.max_workers if max_workers is None else max_workers
     if workers < 1:
@@ -366,7 +437,28 @@ def run_fleet(config: FleetConfig, *, max_workers: int | None = None) -> FleetRe
 
     shard_results: list[_ShardResult]
     if len(shards) <= 1:
-        shard_results = [_run_fleet_shard(config, shards[0], obs_enabled)]
+        setup_workers = min(config.setup_workers or 1, config.links)
+        prebuilt: list[LinkTraffic] | None = None
+        if setup_workers > 1:
+            # Fan only the traffic build across the pool: shards come home
+            # in index order, so the merged population (and therefore the
+            # event stream) is byte-identical to the inline build.
+            from concurrent.futures import ProcessPoolExecutor
+
+            setup_shards = _shard_indices(config.links, setup_workers)
+            with ProcessPoolExecutor(max_workers=len(setup_shards)) as executor:
+                setup_futures = [
+                    executor.submit(_build_traffic_shard, config, indices, obs_enabled)
+                    for indices in setup_shards
+                ]
+                prebuilt = []
+                for future in setup_futures:
+                    shard_traffics, setup_snapshot = future.result()
+                    prebuilt.extend(shard_traffics)
+                    obs.merge(setup_snapshot)
+        shard_results = [
+            _run_fleet_shard(config, shards[0], obs_enabled, traffics=prebuilt)
+        ]
     else:
         from concurrent.futures import ProcessPoolExecutor
 

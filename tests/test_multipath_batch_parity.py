@@ -278,9 +278,13 @@ class TestImpairmentDrawPlanParity:
         with pytest.raises(ValueError):
             model.draw_plan(random_csi(rng, 2, 30), self.INDICES, num_packets=0)
         with pytest.raises(ValueError):
-            model.draw_plan(random_csi(rng, 4, 2, 30), self.INDICES, num_packets=3)
+            model.draw_plan(random_csi(rng, 4, 2, 30), self.INDICES, num_packets=0)
         with pytest.raises(ValueError):
             model.draw_plan(random_csi(rng, 2, 30), np.arange(29.0), num_packets=2)
+        # num_packets with a candidate stack sets the plan capacity (candidates
+        # may repeat), so more packets than candidates is legal.
+        plan = model.draw_plan(random_csi(rng, 4, 2, 30), self.INDICES, num_packets=9)
+        assert plan.capacity == 9
 
 
 class TestCollectorDrawBatchingParity:

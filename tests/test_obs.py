@@ -478,6 +478,10 @@ class TestOnOffParity:
         snapshot = recorder.snapshot()
         assert snapshot.metrics.counters["collect.packets"] > 0
         assert snapshot.metrics.histograms["eval.case"].count == len(cases)
+        # The case program's phases are visible: one planning pass and one
+        # whole-case synthesis batch per case.
+        assert snapshot.metrics.histograms["collect.plan"].count == len(cases)
+        assert snapshot.metrics.histograms["collect.batch_synthesize"].count == len(cases)
 
     def test_fleet_event_digest_identical_with_obs_enabled(self):
         from repro.api import PipelineConfig
@@ -504,6 +508,10 @@ class TestOnOffParity:
         assert enabled_2 == baseline
         snapshot = recorder.snapshot()
         assert snapshot.metrics.histograms["fleet.shard_setup"].count == 2
+        # Each shard synthesises its geometries' cleans in one batch and
+        # plans each of its links.
+        assert snapshot.metrics.histograms["collect.batch_synthesize"].count == 2
+        assert snapshot.metrics.histograms["collect.plan"].count == config.links
 
     def test_sweep_store_bytes_identical_with_obs_enabled(self, tmp_path):
         from repro.experiments.runner import EvaluationConfig
