@@ -67,6 +67,37 @@ def seconds(value: float) -> str:
     return f"{value:.3f} s"
 
 
+def backend_speedup_table(medians: dict[str, float]) -> str | None:
+    """Markdown table of fast-vs-exact medians for backend-matrixed benches.
+
+    Benchmarks parametrized over the numeric backends appear twice in a run,
+    as ``<name>[exact]`` and ``<name>[fast]``; for every such pair the table
+    shows both medians and the exact/fast speedup factor.  Returns ``None``
+    when the run has no pairs (e.g. a filtered local run).
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    for name in sorted(medians):
+        if not name.endswith("[exact]"):
+            continue
+        stem = name[: -len("[exact]")]
+        fast = medians.get(f"{stem}[fast]")
+        if fast is None:
+            continue
+        exact = medians[name]
+        speedup = exact / fast if fast > 0 else float("inf")
+        rows.append((f"`{stem}`", seconds(exact), seconds(fast), f"{speedup:.2f}x"))
+    if not rows:
+        return None
+    header = ("benchmark", "exact median", "fast median", "speedup")
+    return "\n".join(
+        [
+            "| " + " | ".join(header) + " |",
+            "| " + " | ".join("---" for _ in header) + " |",
+            *("| " + " | ".join(row) + " |" for row in rows),
+        ]
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("run", type=Path, help="pytest-benchmark JSON of this run")
@@ -142,6 +173,11 @@ def main(argv: list[str] | None = None) -> int:
     table = format_table(rows)
     print(title)
     print(table)
+    speedup_title = "## Numeric backend speedup (fast vs exact medians, this run)"
+    speedups = backend_speedup_table(run_medians)
+    if speedups is not None:
+        print(speedup_title)
+        print(speedups)
     if failures:
         print("\nFAIL:")
         for failure in failures:
@@ -153,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
     if summary_path:
         with open(summary_path, "a") as handle:
             handle.write(f"{title}\n\n{table}\n")
+            if speedups is not None:
+                handle.write(f"\n{speedup_title}\n\n{speedups}\n")
             if failures:
                 handle.write("\n**FAIL:**\n")
                 for failure in failures:

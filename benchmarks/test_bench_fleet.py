@@ -12,11 +12,13 @@ stable across CI pushes.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.api import PipelineConfig
 from repro.fleet import FleetConfig, run_fleet
 
 
-def fleet_config() -> FleetConfig:
+def fleet_config(backend: str = "exact") -> FleetConfig:
     """1,000 concurrent links over 2 simulated seconds, sized for CI."""
     return FleetConfig(
         links=1000,
@@ -24,6 +26,7 @@ def fleet_config() -> FleetConfig:
         seed=7,
         batch_windows=64,
         pool_packets=40,
+        backend=backend,
         pipeline=PipelineConfig(
             detector="baseline",
             window_packets=10,
@@ -52,9 +55,14 @@ def test_fleet_1000_links_setup_only(benchmark):
     assert all(traffic.num_arrivals > 0 for traffic in traffics)
 
 
-def test_fleet_1000_links_batched_scheduler(benchmark):
-    """Wall-clock of a 1,000-link fleet run (traffic synthesis + scheduling)."""
-    config = fleet_config()
+@pytest.mark.parametrize("backend", ["exact", "fast"])
+def test_fleet_1000_links_batched_scheduler(benchmark, backend):
+    """Wall-clock of a 1,000-link fleet run (traffic synthesis + scheduling).
+
+    Parametrized over the numeric backends; both medians are gated in
+    ``baselines.json`` and feed the fast-vs-exact speedup table.
+    """
+    config = fleet_config(backend)
 
     report = benchmark.pedantic(lambda: run_fleet(config), rounds=1, iterations=1)
 

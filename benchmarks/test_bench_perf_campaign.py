@@ -14,6 +14,7 @@ on multi-core hosts with bit-identical results.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.channel.channel import ChannelSimulator
 from repro.channel.propagation import PropagationModel
@@ -22,10 +23,20 @@ from repro.experiments.runner import EvaluationConfig, run_evaluation
 from repro.experiments.scenarios import evaluation_cases
 
 
-def test_campaign_five_cases_single_process(benchmark):
-    """Wall-clock of the default five-case campaign, single process."""
+@pytest.mark.parametrize("backend", ["exact", "fast"])
+def test_campaign_five_cases_single_process(benchmark, backend):
+    """Wall-clock of the default five-case campaign, single process.
+
+    Parametrized over the numeric backends: ``[exact]`` tracks the
+    bit-parity path, ``[fast]`` the SIMD path whose headline claim is a
+    >=2x median speedup on exactly this campaign — both medians are gated
+    in ``baselines.json``, and ``check_regression.py`` prints the
+    fast-vs-exact speedup table from the pair.
+    """
     result = benchmark.pedantic(
-        lambda: run_evaluation(EvaluationConfig(seed=2015)), rounds=1, iterations=1
+        lambda: run_evaluation(EvaluationConfig(seed=2015, backend=backend)),
+        rounds=1,
+        iterations=1,
     )
     headline = result.headline()
     print("\n=== Campaign perf: headline sanity on the timed run ===")

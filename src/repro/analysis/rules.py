@@ -33,14 +33,16 @@ from repro.analysis.registry import register_rule
 # --------------------------------------------------------------------------- #
 
 #: NumPy transcendentals whose SIMD kernels diverge from CPython's libm route
-#: in the last ulp, with the exact replacement to suggest.
+#: in the last ulp, with the backend-seam replacement to suggest (the batch
+#: path modules take kernels from :func:`repro.backend.active_backend`; the
+#: ``exact`` backend routes them through :mod:`repro.utils.exactmath`).
 _DIVERGENT_UFUNCS = {
-    "numpy.exp": "repro.utils.exactmath.exp",
-    "numpy.hypot": "repro.utils.exactmath.hypot",
-    "numpy.arccos": "repro.utils.exactmath.acos",
-    "numpy.power": "repro.utils.exactmath.power",
-    "numpy.float_power": "repro.utils.exactmath.power",
-    "numpy.arctan2": "a math.atan2 loop (or a new exactmath wrapper)",
+    "numpy.exp": "active_backend().exp (repro.backend; exactmath.exp in exact mode)",
+    "numpy.hypot": "active_backend().hypot (repro.backend)",
+    "numpy.arccos": "active_backend().acos (repro.backend)",
+    "numpy.power": "active_backend().power (repro.backend)",
+    "numpy.float_power": "active_backend().power (repro.backend)",
+    "numpy.arctan2": "a math.atan2 loop (or a new backend kernel)",
 }
 
 
@@ -100,7 +102,8 @@ class BareTranscendentalRule(Rule):
         self.report(
             node,
             f"`** {exponent}` on an array takes NumPy's pow kernel (last-ulp "
-            "divergent from libm); route through repro.utils.exactmath.power",
+            "divergent from libm); route through active_backend().power "
+            "(repro.backend)",
         )
 
 

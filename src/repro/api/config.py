@@ -86,6 +86,17 @@ class PipelineConfig:
     seed:
         Seed for the pipeline's stochastic components (collector loss process
         and impairments).
+    backend:
+        Numeric backend (:mod:`repro.backend`) the pipeline's computation
+        runs under: ``"exact"`` (default, byte-identical libm-routed
+        kernels) or ``"fast"`` (SIMD kernels, tolerance parity).  The name
+        is resolved against the backend registry by the entry point that
+        runs the pipeline — the campaign bridge, the ``pipeline`` CLI
+        command — via :func:`repro.backend.use_backend`; library callers
+        driving a :class:`~repro.api.session.StreamingSession` directly wrap
+        their own computation the same way.  Fleet runs ignore this field:
+        the fleet backend comes from :class:`~repro.fleet.FleetConfig`, like
+        the fleet seed.
     """
 
     detector: str = "combined"
@@ -103,10 +114,13 @@ class PipelineConfig:
     packet_rate_hz: float = 50.0
     loss_probability: float = 0.0
     seed: int | None = None
+    backend: str = "exact"
 
     def __post_init__(self) -> None:
         if not self.detector or not isinstance(self.detector, str):
             raise ValueError(f"detector must be a non-empty string, got {self.detector!r}")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
         if self.spectrum not in SPECTRA:
             raise ValueError(
                 f"spectrum must be one of {SPECTRA}, got {self.spectrum!r}"

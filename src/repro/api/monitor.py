@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
+from repro.backend import active_backend
 from repro.core.detector import BaselineDetector, shares_sanitized_view
 from repro.csi.calibration import sanitize_trace, sanitize_traces
 from repro.csi.format import CSIFrame
@@ -282,6 +283,14 @@ def score_windows_shared(
     the historical per-scheme path — because the per-frame phase fits are
     independent of the batch they run in.
 
+    Under a backend that advertises ``tolerance_parity`` (the ``fast`` mode
+    of :mod:`repro.backend`) the prepared windows are scored through each
+    detector's stacked :meth:`~repro.core.detector._BaseDetector.
+    score_prepared_windows` program instead of the per-window loop; that
+    path is tolerance-parity (bounded score deltas, identical operating
+    points), which is exactly the guarantee fast mode trades byte equality
+    for.  The default ``exact`` backend keeps the bit-identical loop.
+
     Returns a mapping from detector name to the per-window score list, in
     *windows* order.
     """
@@ -290,9 +299,19 @@ def score_windows_shared(
         name for name, detector in detectors.items() if shares_sanitized_view(detector)
     }
     prepared = sanitize_traces(windows) if shared_names and windows else []
+    batch_scoring = getattr(active_backend(), "tolerance_parity", False)
+    batch_cache: dict = {}
     scores: dict[str, list[float]] = {}
     for name, detector in detectors.items():
         if name in shared_names:
+            if batch_scoring:
+                scores[name] = [
+                    float(score)
+                    for score in detector.score_prepared_windows(  # type: ignore[attr-defined]
+                        prepared, cache=batch_cache
+                    )
+                ]
+                continue
             scores[name] = [
                 float(detector.score_prepared(window))  # type: ignore[attr-defined]
                 for window in prepared

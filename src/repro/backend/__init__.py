@@ -1,0 +1,102 @@
+"""Pluggable numeric backends (`exact` bit-parity vs `fast` SIMD).
+
+The batch-path modules take their divergent kernels — the exactmath
+transcendental surface, the channel IFFT and the batched linear-phase fit —
+from the *active backend* instead of importing :mod:`repro.utils.exactmath`
+directly::
+
+    from repro.backend import active_backend
+
+    factor = active_backend().power(4.0 * np.pi * d, exponent)
+
+The process-wide default is ``"exact"`` (bit-identical to the scalar
+reference path; all sha256 pins hold).  A run switches modes with
+:func:`use_backend`, which every entry point (campaign ``run_case``, fleet
+shards, the ``figure``/``pipeline`` CLI commands) wraps around its
+computation based on the ``backend`` config field::
+
+    with use_backend("fast"):
+        outcome = run_evaluation(config)   # SIMD kernels, tolerance parity
+
+``use_backend`` also tags the observability recorder with the backend name,
+so spans and metric snapshots recorded inside attribute stage timings per
+backend.  New backends register through :func:`register_backend` — see
+:class:`repro.backend.base.NumericBackend` for the protocol.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.backend.base import NumericBackend
+from repro.backend.registry import (
+    BackendRegistry,
+    DEFAULT_REGISTRY,
+    available_backends,
+    register_backend,
+)
+
+# Importing the built-in implementations registers them.
+from repro.backend import exact as _exact_module  # noqa: F401
+from repro.backend import fast as _fast_module  # noqa: F401
+
+__all__ = [
+    "NumericBackend",
+    "BackendRegistry",
+    "DEFAULT_REGISTRY",
+    "available_backends",
+    "register_backend",
+    "active_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+#: The process-wide active backend; module-global so the per-call-site cost
+#: of `active_backend()` is one dict-free attribute read.
+_ACTIVE: NumericBackend = DEFAULT_REGISTRY.get("exact")
+
+
+def active_backend() -> NumericBackend:
+    """The backend whose kernels the batch-path modules are currently using."""
+    return _ACTIVE
+
+
+def resolve_backend(
+    name: str | NumericBackend, *, registry: BackendRegistry | None = None
+) -> NumericBackend:
+    """Resolve *name* to a backend instance via the (default) registry.
+
+    Raises ``ValueError`` naming the registered backends when *name* is
+    unknown; passes backend instances through unchanged.
+    """
+    if isinstance(name, str):
+        target = registry if registry is not None else DEFAULT_REGISTRY
+        return target.get(name)
+    return name
+
+
+@contextmanager
+def use_backend(
+    name: str | NumericBackend, *, registry: BackendRegistry | None = None
+) -> Iterator[NumericBackend]:
+    """Activate a backend for the duration of a ``with`` block.
+
+    Resolves *name* through the registry (``ValueError`` on unknown names),
+    installs the instance as the process-wide active backend, tags the obs
+    recorder with the backend name (a no-op when observability is off) and
+    restores the previous backend on exit.  The obs tag is deliberately
+    sticky: shard snapshots taken after the block closes still attribute
+    their spans and metrics to the backend that produced them.
+    """
+    global _ACTIVE
+    backend = resolve_backend(name, registry=registry)
+    previous = _ACTIVE
+    _ACTIVE = backend
+    from repro import obs
+
+    obs.tag("backend", backend.name)
+    try:
+        yield backend
+    finally:
+        _ACTIVE = previous

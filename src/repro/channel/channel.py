@@ -36,7 +36,7 @@ from repro.channel.noise import ImpairmentDrawPlan, ImpairmentModel
 from repro.channel.propagation import PropagationModel
 from repro.channel.rays import Path, RayTracer, assign_angles_of_arrival
 from repro.channel.scene import PathBundle
-from repro.utils import exactmath
+from repro.backend import active_backend
 from repro.utils.rng import SeedLike, derive_rng, ensure_rng
 
 
@@ -328,8 +328,8 @@ class ChannelSimulator:
         # ---- human-created reflection paths -------------------------------
         positions = points_as_array([b.position for b in bodies])
         tx, rx = self.link.tx, self.link.rx
-        d1_raw = exactmath.hypot(tx.x - positions[:, 0], tx.y - positions[:, 1])
-        d2_raw = exactmath.hypot(positions[:, 0] - rx.x, positions[:, 1] - rx.y)
+        d1_raw = active_backend().hypot(tx.x - positions[:, 0], tx.y - positions[:, 1])
+        d2_raw = active_backend().hypot(positions[:, 0] - rx.x, positions[:, 1] - rx.y)
         d1 = np.maximum(d1_raw, 0.1)
         d2 = np.maximum(d2_raw, 0.1)
         bistatic = (d1 + d2) / (d1 * d2)
@@ -346,7 +346,7 @@ class ChannelSimulator:
         pexp_u = np.exp(-1j * self.propagation.phase(lengths[:, None], freqs))
         steer_phases = (
             self.link.array.unit_phase_shift_factors()[None, :]
-            * exactmath.sin(aoas)[:, None]
+            * active_backend().sin(aoas)[:, None]
         )
         steer_u = np.exp((-1j * steer_phases)[:, :, None] * freqs[None, None, :])
 

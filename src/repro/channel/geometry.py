@@ -15,7 +15,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.utils import exactmath
+from repro.backend import active_backend
 
 
 @dataclass(frozen=True)
@@ -283,8 +283,9 @@ def segment_point_distances(
 
     Bit-identical batch form of :meth:`Segment.distance_to_point`: the same
     clamp-projection arithmetic evaluated over a stack of segments, with the
-    final Euclidean norm routed through :func:`repro.utils.exactmath.hypot`
-    so each entry matches the scalar ``math.hypot`` call exactly.
+    final Euclidean norm routed through the active backend's ``hypot``
+    (:func:`repro.utils.exactmath.hypot` in ``exact`` mode) so each entry
+    matches the scalar ``math.hypot`` call exactly.
 
     Parameters
     ----------
@@ -318,9 +319,9 @@ def segment_point_distances(
     t = np.clip(t, 0.0, 1.0)
     closest_x = starts[None, :, 0] + direction[None, :, 0] * t
     closest_y = starts[None, :, 1] + direction[None, :, 1] * t
-    distances = exactmath.hypot(closest_x - points[:, None, 0], closest_y - points[:, None, 1])
+    distances = active_backend().hypot(closest_x - points[:, None, 0], closest_y - points[:, None, 1])
     if np.any(degenerate):
-        start_dist = exactmath.hypot(
+        start_dist = active_backend().hypot(
             starts[None, :, 0] - points[:, None, 0], starts[None, :, 1] - points[:, None, 1]
         )
         distances = np.where(degenerate[None, :], start_dist, distances)
@@ -354,9 +355,9 @@ def paired_segment_point_distances(
     t = np.clip(t, 0.0, 1.0)
     closest_x = starts[:, 0] + direction[:, 0] * t
     closest_y = starts[:, 1] + direction[:, 1] * t
-    distances = exactmath.hypot(closest_x - points[:, 0], closest_y - points[:, 1])
+    distances = active_backend().hypot(closest_x - points[:, 0], closest_y - points[:, 1])
     if np.any(degenerate):
-        start_dist = exactmath.hypot(
+        start_dist = active_backend().hypot(
             starts[:, 0] - points[:, 0], starts[:, 1] - points[:, 1]
         )
         distances = np.where(degenerate, start_dist, distances)
@@ -368,8 +369,8 @@ def signed_angles_to_reference(vectors: np.ndarray, reference: Point) -> np.ndar
 
     Computes the signed angle of each row vector relative to
     *reference*, reproducing the scalar function bit-for-bit (including the
-    zero-vector → 0.0 convention); the `acos` goes through
-    :mod:`repro.utils.exactmath`.
+    zero-vector → 0.0 convention); the `acos` goes through the active
+    backend (libm-exact in ``exact`` mode).
 
     Parameters
     ----------
@@ -383,14 +384,14 @@ def signed_angles_to_reference(vectors: np.ndarray, reference: Point) -> np.ndar
     if vectors.ndim != 2 or vectors.shape[1] != 2:
         raise ValueError(f"vectors must have shape (N, 2), got {vectors.shape}")
     ref = reference.normalized()
-    norms = exactmath.hypot(vectors[:, 0], vectors[:, 1])
+    norms = active_backend().hypot(vectors[:, 0], vectors[:, 1])
     small = norms < 1e-12
     safe_norms = np.where(small, 1.0, norms)
     ux = vectors[:, 0] / safe_norms
     uy = vectors[:, 1] / safe_norms
     cos_a = np.clip(ux * ref.x + uy * ref.y, -1.0, 1.0)
     sign = np.where(ref.x * uy - ref.y * ux >= 0, 1.0, -1.0)
-    return np.where(small, 0.0, sign * exactmath.acos(cos_a))
+    return np.where(small, 0.0, sign * active_backend().acos(cos_a))
 
 
 def segment_blocked_by_disc(

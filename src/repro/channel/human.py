@@ -25,20 +25,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.channel.constants import center_wavelength
 from repro.channel.geometry import Point, Segment, segment_point_distances
 from repro.channel.rays import Path
-from repro.utils import exactmath
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.channel.scene import PathBundle
-
-#: Elementwise ``math.exp(-(r ** 2))`` — the Gaussian core of the shadowing
-#: profile, fused into one exact pass so the batched attenuation reproduces
-#: the scalar ``attenuation_for_offset`` expression bit-for-bit (both the
-#: libm ``pow`` of ``r ** 2`` and the libm ``exp``; see
-#: :mod:`repro.utils.exactmath` for why NumPy's own kernels cannot be used).
-_GAUSS_PROFILE = np.frompyfunc(lambda r: math.exp(-(float(r) ** 2)), 1, 1)
 
 
 def attenuation_profile(
@@ -48,15 +41,17 @@ def attenuation_profile(
 
     Broadcasting form of :meth:`HumanBody.attenuation_for_offset` used when
     the bodies in a batch carry different parameters (*sigma* / *depth* may
-    be arrays broadcast against *offsets*).  Bit-identical to the scalar
-    method for every element.
+    be arrays broadcast against *offsets*).  The Gaussian core is the active
+    backend's fused ``gauss`` kernel (libm-exact in ``exact`` mode, so every
+    element is bit-identical to the scalar method; a SIMD ``exp`` in
+    ``fast``).
     """
     offsets = np.asarray(offsets, dtype=float)
     if np.any(offsets < 0):
         raise ValueError("offsets must be >= 0")
-    return 1.0 - np.asarray(depth, dtype=float) * _GAUSS_PROFILE(
+    return 1.0 - np.asarray(depth, dtype=float) * active_backend().gauss(
         offsets / np.asarray(sigma, dtype=float)
-    ).astype(float)
+    )
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from repro.channel.antenna import UniformLinearArray
 from repro.channel.constants import subcarrier_frequencies
 from repro.channel.propagation import PropagationModel
 from repro.channel.rays import Path
-from repro.utils import exactmath
+from repro.backend import active_backend
 
 
 def synthesize_cfr(
@@ -104,10 +104,12 @@ def dominant_tap_power(cfr_row: np.ndarray) -> float:
 def dominant_tap_power_batch(cfr_rows: np.ndarray) -> np.ndarray:
     """Dominant-tap power of many CSI rows through one stacked IFFT.
 
-    All rows are transformed in a single ``np.fft.ifft(..., axis=-1)`` call
-    (one pocketfft plan applied per row in C) followed by the same early-window
-    tap search as :func:`dominant_tap_power`; every output element is
-    bit-identical to the per-row scalar call, which the parity suite pins.
+    All rows are transformed in a single backend ``ifft(..., axis=-1)`` call
+    (pocketfft in ``exact`` mode, a cached IDFT-matrix multiply in ``fast``)
+    followed by the same early-window tap search as
+    :func:`dominant_tap_power`; under the ``exact`` backend every output
+    element is bit-identical to the per-row scalar call, which the parity
+    suite pins.
 
     Parameters
     ----------
@@ -124,15 +126,16 @@ def dominant_tap_power_batch(cfr_rows: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"dominant_tap_power_batch expects (rows, subcarriers), got {cfr_rows.shape}"
         )
-    impulse = np.fft.ifft(cfr_rows, axis=-1)
+    impulse = active_backend().ifft(cfr_rows, axis=-1)
     # The direct path energy concentrates in the first taps; searching a
     # small early window guards against the dominant tap aliasing to the end
     # of the IFFT window because of residual phase slope.
     early = np.abs(impulse[:, : max(3, cfr_rows.shape[-1] // 8)])
     # The scalar path squares a NumPy scalar, which takes the libm ``pow``
     # route; ``array ** 2`` strength-reduces to ``x * x`` and differs in the
-    # last ulp for a fraction of inputs, so the square goes through exactmath.
-    return exactmath.power(early.max(axis=-1), 2)
+    # last ulp for a fraction of inputs, so the square goes through the
+    # backend's power kernel (libm-exact in ``exact`` mode).
+    return active_backend().power(early.max(axis=-1), 2)
 
 
 def total_subcarrier_power(cfr_row: np.ndarray) -> np.ndarray:

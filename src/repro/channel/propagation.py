@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.constants import SPEED_OF_LIGHT
-from repro.utils import exactmath
+from repro.backend import active_backend
 from repro.utils.validation import check_positive
 
 
@@ -74,9 +74,9 @@ class PropagationModel:
         ``pow`` (NumPy returns scalars from 0-d operations, and scalar
         ``**`` takes the libm route), whereas an array ``**`` would use
         NumPy's SIMD pow kernel, which differs in the last ulp for some
-        inputs — so the batch routes the pow through
-        :func:`repro.utils.exactmath.power` and keeps everything else in
-        vectorised (exact) arithmetic.
+        inputs — so the batch routes the pow through the active backend's
+        ``power`` kernel (:func:`repro.utils.exactmath.power` in ``exact``
+        mode) and keeps everything else in vectorised (exact) arithmetic.
         """
         d = np.maximum(np.asarray(distances, dtype=float), self.reference_distance)
         if d.ndim != 1:
@@ -85,7 +85,7 @@ class PropagationModel:
         if np.any(f <= 0):
             raise ValueError("frequency must be positive")
         amp_const = np.sqrt(self.tx_power * self.tx_gain * self.rx_gain) * SPEED_OF_LIGHT
-        factor = exactmath.power(4.0 * np.pi * d, self.path_loss_exponent / 2.0)
+        factor = active_backend().power(4.0 * np.pi * d, self.path_loss_exponent / 2.0)
         return amp_const / (factor[:, None] * f)
 
     def phase(self, distance: float | np.ndarray, frequency: float | np.ndarray) -> np.ndarray:

@@ -66,6 +66,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.api import PipelineConfig, available_detectors
+from repro.backend import available_backends, resolve_backend, use_backend
 from repro.experiments import figures
 from repro.experiments.runner import EvaluationConfig, run_evaluation
 from repro.experiments.scenarios import evaluation_cases, human_grid
@@ -138,7 +139,13 @@ def _build_config(args: argparse.Namespace) -> EvaluationConfig:
     }
     if getattr(args, "workers", None) is not None:
         overrides["max_workers"] = args.workers
-    return dataclasses.replace(config, **overrides) if overrides else config
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    config = dataclasses.replace(config, **overrides) if overrides else config
+    # Resolve the backend name now so a typo is a one-line exit-2 config
+    # error instead of a traceback from deep inside the campaign.
+    resolve_backend(config.backend)
+    return config
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -179,8 +186,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         data = _CAMPAIGN_FIGURES[name](result)
     elif name in _STANDALONE_FIGURES:
         # Standalone figures only take a seed, but they still honour the
-        # resolved config so --config files are validated and applied.
-        data = _STANDALONE_FIGURES[name](seed=config.seed)
+        # resolved config so --config files are validated and applied; they
+        # bypass run_case, so the backend is activated here.
+        with use_backend(config.backend):
+            data = _STANDALONE_FIGURES[name](seed=config.seed)
     else:
         known = sorted(set(_CAMPAIGN_FIGURES) | set(_STANDALONE_FIGURES))
         print(f"unknown figure {name!r}; known figures: {', '.join(known)}", file=sys.stderr)
@@ -202,7 +211,11 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         overrides["seed"] = args.seed
     elif config.seed is None:
         overrides["seed"] = _DEFAULTS["seed"]
-    return config.replace(**overrides) if overrides else config
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    config = config.replace(**overrides) if overrides else config
+    resolve_backend(config.backend)
+    return config
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
@@ -231,55 +244,58 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"--windows must be >= 1, got {args.windows}", file=sys.stderr)
         return 2
 
-    rng = ensure_rng(config.seed)
-    simulator = ChannelSimulator(
-        link,
-        propagation=PropagationModel(tx_power=link.tx_power),
-        seed=int(rng.integers(0, 2**31 - 1)),
-    )
-    # One generator stream shared with the collector so the whole pipeline is
-    # reproducible from the single config seed.
-    collector = config.collector(simulator, rng=rng)
-    try:
-        session = config.session(link)
-    except ValueError as error:  # e.g. a detector name not in the registry
-        return _config_error(error)
-    calibration = collector.collect(
-        None, num_packets=config.calibration_packets, label=f"{link.name}/calibration"
-    )
-    session.calibrate(calibration)
-    clock = float(calibration.timestamps[-1])
-
-    # Alternate empty / occupied monitoring bursts; the person stands at the
-    # centre position of the paper's presence grid for this link.  Ground
-    # truth is tracked per packet so event labels stay correct even when a
-    # sliding stride makes windows straddle burst boundaries.
-    from collections import deque
-
-    from repro.channel.human import HumanBody
-
-    grid = human_grid(link)
-    human = HumanBody(position=grid[len(grid) // 2])
-    truth: deque[bool] = deque(maxlen=config.window_packets)
-    for index in range(args.windows):
-        occupied = index % 2 == 1
-        scene = [human] if occupied else None
-        trace = collector.collect(
-            scene,
-            num_packets=config.window_packets,
-            label=link.name,
-            start_time=clock,
+    with use_backend(config.backend):
+        rng = ensure_rng(config.seed)
+        simulator = ChannelSimulator(
+            link,
+            propagation=PropagationModel(tx_power=link.tx_power),
+            seed=int(rng.integers(0, 2**31 - 1)),
         )
-        clock = float(trace.timestamps[-1])
-        for frame in trace:
-            truth.append(occupied)
-            event = session.push(frame)
-            if event is None:
-                continue
-            payload = event.to_dict()
-            payload["occupied_packets"] = sum(truth)
-            payload["occupied"] = sum(truth) * 2 > len(truth)
-            print(json.dumps(payload))
+        # One generator stream shared with the collector so the whole pipeline
+        # is reproducible from the single config seed.
+        collector = config.collector(simulator, rng=rng)
+        try:
+            session = config.session(link)
+        except ValueError as error:  # e.g. a detector name not in the registry
+            return _config_error(error)
+        calibration = collector.collect(
+            None,
+            num_packets=config.calibration_packets,
+            label=f"{link.name}/calibration",
+        )
+        session.calibrate(calibration)
+        clock = float(calibration.timestamps[-1])
+
+        # Alternate empty / occupied monitoring bursts; the person stands at
+        # the centre position of the paper's presence grid for this link.
+        # Ground truth is tracked per packet so event labels stay correct even
+        # when a sliding stride makes windows straddle burst boundaries.
+        from collections import deque
+
+        from repro.channel.human import HumanBody
+
+        grid = human_grid(link)
+        human = HumanBody(position=grid[len(grid) // 2])
+        truth: deque[bool] = deque(maxlen=config.window_packets)
+        for index in range(args.windows):
+            occupied = index % 2 == 1
+            scene = [human] if occupied else None
+            trace = collector.collect(
+                scene,
+                num_packets=config.window_packets,
+                label=link.name,
+                start_time=clock,
+            )
+            clock = float(trace.timestamps[-1])
+            for frame in trace:
+                truth.append(occupied)
+                event = session.push(frame)
+                if event is None:
+                    continue
+                payload = event.to_dict()
+                payload["occupied_packets"] = sum(truth)
+                payload["occupied"] = sum(truth) * 2 > len(truth)
+                print(json.dumps(payload))
     return 0
 
 
@@ -360,6 +376,7 @@ def _fleet_config(args: argparse.Namespace):
         ("links", "links"),
         ("duration", "duration_s"),
         ("seed", "seed"),
+        ("backend", "backend"),
         ("batch_windows", "batch_windows"),
         ("workers", "max_workers"),
         ("setup_workers", "setup_workers"),
@@ -367,7 +384,9 @@ def _fleet_config(args: argparse.Namespace):
         value = getattr(args, attr, None)
         if value is not None:
             overrides[field_name] = value
-    return config.replace(**overrides) if overrides else config
+    config = config.replace(**overrides) if overrides else config
+    resolve_backend(config.backend)
+    return config
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
@@ -462,6 +481,10 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
 
     try:
         spec = _load_sweep_spec(args.spec)
+        if getattr(args, "backend", None) is not None:
+            spec = dataclasses.replace(spec, backend=args.backend)
+        if spec.backend is not None:
+            resolve_backend(spec.backend)
         workers = getattr(args, "workers", None)
         runner = SweepRunner(
             spec=spec,
@@ -609,6 +632,17 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"metrics JSONL path (implies --obs; default {default_out})",
         )
 
+    def _add_backend_flag(subparser) -> None:
+        """The --backend flag shared by figure/pipeline/fleet run/sweep run."""
+        subparser.add_argument(
+            "--backend",
+            metavar="NAME",
+            default=None,
+            help="numeric backend to compute through: 'exact' keeps the "
+            "byte-identical pins (default), 'fast' uses SIMD kernels with "
+            f"tolerance parity (registered: {', '.join(available_backends())})",
+        )
+
     def add_postfix_overrides(subparser, names: tuple[str, ...]) -> None:
         """Accept the global campaign flags after the subcommand too.
 
@@ -635,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one figure's data as JSON")
     figure.add_argument("name", help="figure identifier, e.g. fig7 or fig2a")
     add_postfix_overrides(figure, _CAMPAIGN_FLAGS)
+    _add_backend_flag(figure)
     figure.set_defaults(func=_cmd_figure)
 
     pipeline = sub.add_parser(
@@ -659,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitoring windows to stream, alternating empty/occupied (default 6)",
     )
     add_postfix_overrides(pipeline, ("seed", "window_packets"))
+    _add_backend_flag(pipeline)
     pipeline.set_defaults(func=_cmd_pipeline)
 
     lint = sub.add_parser(
@@ -738,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(fleet_run, "fleet-obs.jsonl")
     add_postfix_overrides(fleet_run, ("seed", "workers"))
+    _add_backend_flag(fleet_run)
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     fleet_report = fleet_sub.add_parser(
@@ -802,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
         "non-empty store)",
     )
     _add_obs_flags(sweep_run, "sweep-obs.jsonl")
+    _add_backend_flag(sweep_run)
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_status = sweep_sub.add_parser(

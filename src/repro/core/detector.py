@@ -24,11 +24,13 @@ antennas, exactly as the paper does "for fair comparison".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 from weakref import WeakKeyDictionary
 
 import numpy as np
 
-from repro.aoa.music import PseudoSpectrum
+from repro.aoa.bartlett import BartlettEstimator
+from repro.aoa.music import MusicEstimator, PseudoSpectrum
 from repro.core.path_weighting import PathWeighting
 from repro.core.subcarrier_weighting import SubcarrierWeighting, SubcarrierWeights
 from repro.csi.calibration import sanitize_trace
@@ -96,6 +98,17 @@ def _batched_spectra_safe(estimator) -> bool:
     if any(hook in instance_attrs for hook in _BATCH_BYPASSED_HOOKS):
         return False
     return _batched_spectra_safe_for_class(type(estimator))
+
+
+#: ``pseudospectra`` implementations whose CSI-to-covariance step is the
+#: plain :func:`~repro.aoa.covariance.spatial_covariance` pipeline.  The
+#: stacked whole-case scoring path computes those covariances itself (one
+#: einsum over all windows), so it may only replace estimators that would
+#: have done the same per capture.
+_COVARIANCE_PIPELINE_SPECTRA = (
+    BartlettEstimator.pseudospectra,
+    MusicEstimator.pseudospectra,
+)
 
 
 @dataclass(frozen=True)
@@ -219,6 +232,27 @@ class _BaseDetector:
             raise ValueError("monitoring window must contain at least one packet")
         return self._score_prepared(window)
 
+    def score_prepared_windows(
+        self, windows: "Sequence[CSITrace]", *, cache: dict | None = None
+    ) -> list[float]:
+        """Scores of several prepared windows at once.
+
+        The base implementation is the plain per-window loop (bit-identical
+        to :meth:`score_prepared` per window).  Schemes override it with a
+        stacked array program over same-shape windows; those overrides are
+        tolerance-parity (not bitwise) with the loop because stacked
+        reductions reorder floating-point sums, so the batch-scoring layer
+        only routes through them when the active backend advertises
+        ``tolerance_parity`` (the ``fast`` backend — see
+        :mod:`repro.backend`).
+
+        *cache* is an optional scratch dict a caller scoring the same
+        windows under several detectors may share between them; overrides
+        use it to reuse window-only intermediates (the stacked subcarrier
+        weights) across schemes.
+        """
+        return [float(self.score_prepared(window)) for window in windows]
+
     def _score_prepared(self, window: CSITrace) -> float:
         """Detection statistic of a prepared window (schemes implement this)."""
         raise NotImplementedError
@@ -260,6 +294,40 @@ def shares_sanitized_view(detector: object) -> bool:
     )
 
 
+def _stacked_window_csi(windows: Sequence[CSITrace]) -> np.ndarray | None:
+    """Stack same-shape prepared windows into ``(windows, packets, antennas,
+    subcarriers)``, or None when the shapes are heterogeneous (the batched
+    scoring overrides then fall back to the per-window loop)."""
+    if not windows:
+        return None
+    shape = windows[0].csi.shape
+    if any(window.csi.shape != shape for window in windows[1:]):
+        return None
+    if shape[0] < 1:
+        raise ValueError("monitoring window must contain at least one packet")
+    return np.stack([window.csi for window in windows])
+
+
+def _shared_stacked_weights(
+    weighting: SubcarrierWeighting, stacked: np.ndarray, cache: dict | None
+) -> np.ndarray:
+    """Stacked subcarrier weights, shared across detectors via *cache*.
+
+    The subcarrier and combined schemes compute identical weights for the
+    same window stack whenever their weighting parameters agree; a caller
+    scoring both hands in one scratch dict so the second scheme reuses the
+    first's result.  Weightings with a custom frequency grid are not cached
+    (the grid would need hashing)."""
+    if cache is None or weighting.frequencies is not None:
+        return weighting.stacked_weights(stacked)
+    key = ("stacked_weights", weighting.use_stability_ratio)
+    weights = cache.get(key)
+    if weights is None:
+        weights = weighting.stacked_weights(stacked)
+        cache[key] = weights
+    return weights
+
+
 class BaselineDetector(_BaseDetector):
     """Euclidean distance of CSI amplitudes (the paper's baseline scheme).
 
@@ -272,6 +340,20 @@ class BaselineDetector(_BaseDetector):
         assert self._profile_amplitude is not None
         distances = np.linalg.norm(mean_amplitude - self._profile_amplitude, axis=1)
         return float(distances.mean())
+
+    def score_prepared_windows(
+        self, windows: Sequence[CSITrace], *, cache: dict | None = None
+    ) -> list[float]:
+        self._require_calibration()
+        stacked = _stacked_window_csi(windows)
+        if stacked is None:
+            return super().score_prepared_windows(windows)
+        assert self._profile_amplitude is not None
+        mean_amplitudes = np.abs(stacked).mean(axis=1)
+        distances = np.linalg.norm(
+            mean_amplitudes - self._profile_amplitude[None], axis=2
+        )
+        return [float(score) for score in distances.mean(axis=1)]
 
 
 class SubcarrierWeightingDetector(_BaseDetector):
@@ -307,6 +389,23 @@ class SubcarrierWeightingDetector(_BaseDetector):
         weight_norms = np.linalg.norm(weights.weights, axis=1)
         distances = np.linalg.norm(weighted, axis=1) / np.maximum(weight_norms, 1e-12)
         return float(distances.mean())
+
+    def score_prepared_windows(
+        self, windows: Sequence[CSITrace], *, cache: dict | None = None
+    ) -> list[float]:
+        self._require_calibration()
+        stacked = _stacked_window_csi(windows)
+        if stacked is None:
+            return super().score_prepared_windows(windows)
+        assert self._profile_amplitude is not None
+        weights = _shared_stacked_weights(self.weighting, stacked, cache)
+        profile_rss = power_to_db(self._profile_amplitude**2)
+        window_rss = power_to_db(np.abs(stacked).mean(axis=1) ** 2)
+        delta_s = window_rss - profile_rss[None]
+        weighted = weights * delta_s
+        weight_norms = np.linalg.norm(weights, axis=2)
+        distances = np.linalg.norm(weighted, axis=2) / np.maximum(weight_norms, 1e-12)
+        return [float(score) for score in distances.mean(axis=1)]
 
     def last_weights(self, window: CSITrace) -> SubcarrierWeights:
         """Expose the weights computed for a window (diagnostics, figures)."""
@@ -436,6 +535,66 @@ class SubcarrierPathWeightingDetector(_BaseDetector):
         window = self._prepare(window)
         monitored, _ = self._weighted_spectra(window)
         return monitored
+
+    def _spectra_batchable(self) -> bool:
+        """Whether the stacked scoring path may bypass the estimator's own
+        CSI-to-covariance step (it recomputes the plain
+        :func:`~repro.aoa.covariance.spatial_covariance` as one einsum over
+        every window, which is only faithful for the stock pipeline)."""
+        estimator = self.spectrum_estimator
+        if not _batched_spectra_safe(estimator):
+            return False
+        if "pseudospectra" in getattr(estimator, "__dict__", {}):
+            return False
+        return (
+            getattr(type(estimator), "pseudospectra", None)
+            in _COVARIANCE_PIPELINE_SPECTRA
+        )
+
+    def score_prepared_windows(
+        self, windows: Sequence[CSITrace], *, cache: dict | None = None
+    ) -> list[float]:
+        self._require_calibration()
+        assert self._path_weighting is not None
+        assert self._calibration_trace is not None
+        stacked = _stacked_window_csi(windows)
+        if stacked is None or not self._spectra_batchable():
+            return super().score_prepared_windows(windows)
+        weights = _shared_stacked_weights(self.weighting, stacked, cache)
+        sqrt_weights = np.sqrt(weights)  # amplitude scaling per window
+        monitored = stacked * sqrt_weights[:, None, :, :]
+        num_windows, packets, _, subcarriers = monitored.shape
+        # Spatial covariances of every window's monitored CSI and of the
+        # calibration CSI under that window's weights, without materialising
+        # the (windows, cal_packets, antennas, subcarriers) weighted stack:
+        # the weights factor out of the calibration Gram tensor.
+        monitored_cov = np.einsum(
+            "wpas,wpbs->wab", monitored, monitored.conj()
+        ) / (packets * subcarriers)
+        calibration = self._calibration_trace.csi
+        cal_packets = calibration.shape[0]
+        gram = np.einsum("cas,cbs->abs", calibration, calibration.conj())
+        static_cov = np.einsum(
+            "was,wbs,abs->wab", sqrt_weights, sqrt_weights, gram
+        ) / (cal_packets * subcarriers)
+        spectra = self.spectrum_estimator.pseudospectra_from_covariances(
+            np.concatenate([monitored_cov, static_cov], axis=0)
+        )
+        static_grid = self._path_weighting.static_spectrum.angles_deg
+        grid = spectra[0].angles_deg
+        if grid.shape != static_grid.shape or not np.allclose(grid, static_grid):
+            return super().score_prepared_windows(windows)
+        path_weights = self._path_weighting.weights()
+        values = np.stack([spectrum.values for spectrum in spectra])
+        weighted_monitored = path_weights[None, :] * values[:num_windows]
+        weighted_static = path_weights[None, :] * values[num_windows:]
+        reference = weighted_static.max(axis=1)
+        if np.any(reference <= 0):
+            raise ValueError(
+                "path-weighted static spectrum has no power inside the gate"
+            )
+        difference = (weighted_monitored - weighted_static) / reference[:, None]
+        return [float(score) for score in np.linalg.norm(difference, axis=1)]
 
     def _score_prepared(self, window: CSITrace) -> float:
         assert self._path_weighting is not None

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils import exactmath
+from repro.backend import active_backend
 from repro.utils.validation import check_probability
 
 #: Small probability floor avoiding log(0) in degenerate emission models.
@@ -101,7 +101,7 @@ class TwoStateHMM:
         means = np.array([self.empty_mean, self.occupied_mean])
         stds = np.array([self.empty_std, self.occupied_std])
         z = (scores[:, None] - means[None, :]) / stds[None, :]
-        likelihood = exactmath.exp(-0.5 * z**2) / (np.sqrt(2.0 * np.pi) * stds[None, :])
+        likelihood = active_backend().exp(-0.5 * z**2) / (np.sqrt(2.0 * np.pi) * stds[None, :])
         return np.maximum(likelihood, _PROB_FLOOR)
 
     # ------------------------------------------------------------------ #

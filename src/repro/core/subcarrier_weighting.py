@@ -142,6 +142,45 @@ class SubcarrierWeighting:
         factors = multipath_factor_trace(trace, self.frequencies)
         return self.weights_from_factors(factors)
 
+    def stacked_weights(self, csi_stack: np.ndarray) -> np.ndarray:
+        """Weight arrays for a stack of same-shape windows in one pass.
+
+        The whole-case form of :meth:`weights_from_trace` used by the fast
+        backend's batched scoring path: all ``windows * packets * antennas``
+        multipath factors come from one stacked IFFT and the Eq. 13–15
+        statistics reduce along the packet axis of every window at once.
+        Tolerance-parity (not bitwise) with the per-window computation — the
+        stacked reductions reorder floating-point sums.
+
+        Parameters
+        ----------
+        csi_stack:
+            Complex CSI of shape ``(windows, packets, antennas, subcarriers)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Normalised weights of shape ``(windows, antennas, subcarriers)``.
+        """
+        csi_stack = np.asarray(csi_stack)
+        if csi_stack.ndim != 4:
+            raise ValueError(
+                "csi_stack must have shape (windows, packets, antennas, "
+                f"subcarriers), got {csi_stack.shape}"
+            )
+        factors = multipath_factor_batch(csi_stack, self.frequencies)
+        mean_factor = factors.mean(axis=1)
+        if self.use_stability_ratio:
+            medians = np.median(factors, axis=3, keepdims=True)
+            ratio = (factors > medians).mean(axis=1)
+        else:
+            ratio = np.ones_like(mean_factor)
+        raw = np.abs(mean_factor * ratio)
+        sums = raw.sum(axis=2, keepdims=True)
+        uniform = np.full_like(raw, 1.0 / raw.shape[2])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(sums > 0, raw / np.maximum(sums, 1e-30), uniform)
+
     def weights_from_packet(self, csi: np.ndarray) -> SubcarrierWeights:
         """Per-packet weights (Eq. 12) from a single CSI matrix."""
         csi = np.asarray(csi)

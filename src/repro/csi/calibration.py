@@ -12,58 +12,37 @@ angle estimation consume.
 
 Sanitisation runs over whole traces in one vectorised pass: a batched unwrap
 over ``(packets, subcarriers)``, one batched least-squares slope/offset fit
-and one broadcast correction.  The per-frame LAPACK solve that
-``np.polyfit`` performs is kept *exactly* (each row is still its own
-single-RHS ``dgelsd`` call, routed through NumPy's ``lstsq`` gufunc with a
-batch dimension), so every sanitised frame is bit-identical to the
-historical per-frame loop — a contract the detection pipeline's score
-parity tests pin down.
+and one broadcast correction.  The fit is taken from the active numeric
+backend (:mod:`repro.backend`): under the default ``exact`` backend the
+per-frame LAPACK solve that ``np.polyfit`` performs is kept *exactly* (each
+row is still its own single-RHS ``dgelsd`` call, routed through NumPy's
+``lstsq`` gufunc with a batch dimension), so every sanitised frame is
+bit-identical to the historical per-frame loop — a contract the detection
+pipeline's score parity tests pin down.  The ``fast`` backend solves all
+rows through one public multi-RHS ``np.linalg.lstsq`` call instead
+(tolerance parity).
 """
 
 from __future__ import annotations
 
-import os
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.backend import active_backend
 from repro.csi.format import CSIFrame
 from repro.csi.trace import CSITrace
 
-try:  # pragma: no cover - import guard exercised implicitly
-    from numpy.linalg import _umath_linalg as _umath_linalg  # repro: allow-det006 -- guarded by this try/except; when the gufunc moves or vanishes _LSTSQ_GUFUNC stays None and every fit takes the per-row np.polyfit fallback (forced in CI via REPRO_FORCE_POLYFIT_FALLBACK)
-
-    _LSTSQ_GUFUNC = getattr(_umath_linalg, "lstsq", None) or getattr(
-        _umath_linalg, "lstsq_m", None
-    )
-except Exception:  # pragma: no cover - numpy layout change
-    _LSTSQ_GUFUNC = None
-
-# Deterministic escape hatch for CI: setting REPRO_FORCE_POLYFIT_FALLBACK
-# (to anything but an explicit off value) makes the batched fits take the
-# per-row np.polyfit path even when the private gufunc is available, so the
-# fallback is exercised on every NumPy rather than only on layouts where the
-# gufunc has moved.
-if os.environ.get("REPRO_FORCE_POLYFIT_FALLBACK", "").strip().lower() not in (
-    "",
-    "0",
-    "false",
-    "no",
-):
-    _LSTSQ_GUFUNC = None
-
 
 def _linear_phase_fits(indices: np.ndarray, phases: np.ndarray) -> np.ndarray:
-    """Per-row ``(slope, offset)`` fits, bit-identical to ``np.polyfit(deg=1)``.
+    """Per-row ``(slope, offset)`` fits via the active backend.
 
-    Replicates ``np.polyfit``'s preprocessing (Vandermonde matrix, column
-    scaling, default ``rcond``) once for the shared abscissa, then solves all
-    rows through the ``lstsq`` gufunc with a leading batch dimension: every
-    row is still an independent single-RHS LAPACK solve on the same scaled
-    matrix — exactly the computation ``np.polyfit(indices, row, 1)`` runs —
-    but the loop over rows happens in C.  Falls back to the literal per-row
-    ``np.polyfit`` when the gufunc is unavailable.
+    Under the ``exact`` backend this is bit-identical to
+    ``np.polyfit(indices, row, 1)`` per row (single-RHS LAPACK solves through
+    NumPy's ``lstsq`` gufunc, with a per-row ``np.polyfit`` fallback — see
+    :meth:`repro.backend.exact.ExactBackend.linear_phase_fits`); the ``fast``
+    backend solves all rows in one public multi-RHS ``np.linalg.lstsq`` call.
 
     Parameters
     ----------
@@ -77,23 +56,7 @@ def _linear_phase_fits(indices: np.ndarray, phases: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Coefficients of shape ``(rows, 2)`` ordered ``[slope, offset]``.
     """
-    # np.polyfit promotes x and y with `+ 0.0`, which also normalises any
-    # negative zeros; repeat it so the fitted bits cannot differ.
-    indices = np.asarray(indices, dtype=float) + 0.0
-    phases = np.ascontiguousarray(phases, dtype=float) + 0.0
-    if phases.shape[0] == 0:
-        return np.zeros((0, 2), dtype=float)
-    lhs = np.vander(indices, 2)
-    scale = np.sqrt((lhs * lhs).sum(axis=0))
-    lhs_scaled = lhs / scale
-    rcond = len(indices) * np.finfo(indices.dtype).eps
-    if _LSTSQ_GUFUNC is not None:
-        stacked = np.broadcast_to(
-            lhs_scaled, (phases.shape[0], *lhs_scaled.shape)
-        )
-        coefficients = _LSTSQ_GUFUNC(stacked, phases[:, :, None], rcond)[0][:, :, 0]
-        return coefficients / scale[None, :]
-    return np.stack([np.polyfit(indices, row, 1) for row in phases])
+    return active_backend().linear_phase_fits(indices, phases)
 
 
 def sanitize_csi_array(
@@ -140,7 +103,7 @@ def sanitize_csi_array(
             corrections = (
                 coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
             )
-            return csi * np.exp(-1j * corrections)[:, None, :]
+            return csi * active_backend().cis(-corrections)[:, None, :]
     with obs.span("collect.sanitize"):
         phases = np.unwrap(np.angle(csi), axis=-1)
         coefficients = _linear_phase_fits(
@@ -149,7 +112,7 @@ def sanitize_csi_array(
         corrections = (
             coefficients[:, :1] * indices[None, :] + coefficients[:, 1:]
         ).reshape(packets, antennas, subcarriers)
-        return csi * np.exp(-1j * corrections)
+        return csi * active_backend().cis(-corrections)
 
 
 def remove_linear_phase(csi: np.ndarray, subcarrier_indices: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ from typing import Any, Mapping, Sequence
 from repro import obs
 from repro.api.config import PipelineConfig
 from repro.api.registry import DEFAULT_REGISTRY, DetectorRegistry
+from repro.backend import use_backend
 from repro.channel.channel import ChannelSimulator, Link
 from repro.channel.human import HumanBody
 from repro.channel.noise import ImpairmentModel
@@ -55,6 +56,15 @@ class EvaluationConfig:
     concurrently (in separate processes).  Each case already derives its own
     seed from ``seed + 1000 * case_index``, so the campaign result is
     bit-identical for every worker count.
+
+    ``backend`` names the numeric backend (:mod:`repro.backend`) every case
+    of the campaign computes through: ``"exact"`` (default) keeps the
+    byte-identical libm-routed kernels behind the published sha256 pins,
+    ``"fast"`` swaps in the SIMD kernels (tolerance parity — identical
+    operating points, trailing-bit score deltas).  The name is resolved
+    against the backend registry when the campaign runs, so custom backends
+    registered via :func:`repro.backend.register_backend` are addressable
+    from config files.
     """
 
     calibration_packets: int = 150
@@ -79,9 +89,14 @@ class EvaluationConfig:
     theta_min_deg: float = -60.0
     theta_max_deg: float = 60.0
     schemes: tuple[str, ...] = SCHEMES
+    backend: str = "exact"
     seed: int = 2015
 
     def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a non-empty string, got {self.backend!r}"
+            )
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         # A degenerate campaign (no windows, no grid, an uncalibratable
@@ -174,6 +189,7 @@ class EvaluationConfig:
             calibration_packets=self.calibration_packets,
             packet_rate_hz=self.packet_rate_hz,
             seed=self.seed,
+            backend=self.backend,
         )
 
 
@@ -441,30 +457,36 @@ def run_case(
     (:func:`~repro.api.monitor.score_windows_shared`).  Scores are
     bit-identical to the retained window-by-window path,
     :func:`run_case_reference`, which the parity suite pins.
+
+    The whole case — synthesis, impairments, sanitisation and scoring —
+    computes through ``config.backend``, activated here so process-pool
+    workers (which never see the parent's active backend) and library
+    callers get the configured kernels without wrapping anything themselves.
     """
     from repro.api.monitor import calibrate_shared, score_windows_shared
 
     from repro.experiments.case_program import plan_case
 
     seed = config.seed if case_seed is None else case_seed
-    simulator, collector, background, drift = _case_components(link, config, seed)
+    with use_backend(config.backend):
+        simulator, collector, background, drift = _case_components(link, config, seed)
 
-    with obs.span("collect.plan"):
-        plan = plan_case(link, config, background, drift)
-    with obs.span("collect.batch_synthesize"):
-        cleans = simulator.clean_cfr_batch(plan.scenes())
-    traces = collector.collect_batch(cleans, plan.counts(), labels=plan.labels())
+        with obs.span("collect.plan"):
+            plan = plan_case(link, config, background, drift)
+        with obs.span("collect.batch_synthesize"):
+            cleans = simulator.clean_cfr_batch(plan.scenes())
+        traces = collector.collect_batch(cleans, plan.counts(), labels=plan.labels())
 
-    # Calibration (traces[0]): empty monitored area, no drift gain — drift
-    # accumulates *after* calibration.  Gains scale the raw traces before
-    # sanitisation, exactly as the historical path applied them.
-    monitoring = [
-        trace if planned.gain is None else drift.apply_to_trace(trace, planned.gain)
-        for trace, planned in zip(traces[1:], plan.monitoring)
-    ]
-    detectors = build_detectors(link, config)
-    calibrate_shared(detectors, traces[0])
-    scores = score_windows_shared(detectors, monitoring)
+        # Calibration (traces[0]): empty monitored area, no drift gain — drift
+        # accumulates *after* calibration.  Gains scale the raw traces before
+        # sanitisation, exactly as the historical path applied them.
+        monitoring = [
+            trace if planned.gain is None else drift.apply_to_trace(trace, planned.gain)
+            for trace, planned in zip(traces[1:], plan.monitoring)
+        ]
+        detectors = build_detectors(link, config)
+        calibrate_shared(detectors, traces[0])
+        scores = score_windows_shared(detectors, monitoring)
 
     windows: list[ScoredWindow] = []
     for position, planned in enumerate(plan.monitoring):
@@ -496,85 +518,91 @@ def run_case_reference(
     sanitises and scores one window at a time with per-scheme ``score``
     calls.  The parity suite asserts ``run_case`` reproduces these windows
     float for float; production callers should use :func:`run_case`.
+
+    Like :func:`run_case`, the whole case computes through
+    ``config.backend``.
     """
     seed = config.seed if case_seed is None else case_seed
-    simulator, collector, background, drift = _case_components(link, config, seed)
+    with use_backend(config.backend):
+        simulator, collector, background, drift = _case_components(link, config, seed)
 
-    # Calibration: empty monitored area (background may be present far away),
-    # no drift applied — it accumulates *after* calibration.
-    calibration = collector.collect(
-        background.people_for_window() + drift.clutter_for_window(),
-        num_packets=config.calibration_packets,
-        label=f"{link.name}/calibration",
-    )
-    detectors = build_detectors(link, config)
-    for detector in detectors.values():
-        detector.calibrate(calibration)
+        # Calibration: empty monitored area (background may be present far
+        # away), no drift applied — it accumulates *after* calibration.
+        calibration = collector.collect(
+            background.people_for_window() + drift.clutter_for_window(),
+            num_packets=config.calibration_packets,
+            label=f"{link.name}/calibration",
+        )
+        detectors = build_detectors(link, config)
+        for detector in detectors.values():
+            detector.calibrate(calibration)
 
-    grid = human_grid(
-        link,
-        rows=config.grid_rows,
-        cols=config.grid_cols,
-        lateral_extent_m=config.grid_lateral_extent_m,
-        along_extent_m=config.grid_along_fraction * link.distance(),
-    )
+        grid = human_grid(
+            link,
+            rows=config.grid_rows,
+            cols=config.grid_cols,
+            lateral_extent_m=config.grid_lateral_extent_m,
+            along_extent_m=config.grid_along_fraction * link.distance(),
+        )
 
-    windows: list[ScoredWindow] = []
+        windows: list[ScoredWindow] = []
 
-    def score_window(
-        trace: CSITrace,
-        *,
-        occupied: bool,
-        distance: float | None,
-        angle: float | None,
-        location_index: int | None,
-    ) -> None:
-        for scheme, detector in detectors.items():
-            windows.append(
-                ScoredWindow(
-                    scheme=scheme,
-                    case=link.name,
-                    occupied=occupied,
-                    score=float(detector.score(trace)),
-                    distance_to_rx_m=distance,
-                    angle_deg=angle,
-                    location_index=location_index,
-                    window_packets=trace.num_packets,
+        def score_window(
+            trace: CSITrace,
+            *,
+            occupied: bool,
+            distance: float | None,
+            angle: float | None,
+            location_index: int | None,
+        ) -> None:
+            for scheme, detector in detectors.items():
+                windows.append(
+                    ScoredWindow(
+                        scheme=scheme,
+                        case=link.name,
+                        occupied=occupied,
+                        score=float(detector.score(trace)),
+                        distance_to_rx_m=distance,
+                        angle_deg=angle,
+                        location_index=location_index,
+                        window_packets=trace.num_packets,
+                    )
                 )
-            )
 
-    # Positive windows: every grid location, several bursts each.
-    for location_index, position in enumerate(grid):
-        distance = grid_distance_to_receiver(link, position)
-        angle = grid_angle_to_receiver_deg(link, position)
-        for _ in range(config.windows_per_location):
-            scene = [config.human_at(position)]
-            scene += background.people_for_window()
-            scene += drift.clutter_for_window()
+        # Positive windows: every grid location, several bursts each.
+        for location_index, position in enumerate(grid):
+            distance = grid_distance_to_receiver(link, position)
+            angle = grid_angle_to_receiver_deg(link, position)
+            for _ in range(config.windows_per_location):
+                scene = [config.human_at(position)]
+                scene += background.people_for_window()
+                scene += drift.clutter_for_window()
+                trace = collector.collect(
+                    scene,
+                    num_packets=config.window_packets,
+                    label=f"{link.name}/occupied",
+                )
+                trace = drift.apply_to_trace(trace, drift.gain_for_window())
+                score_window(
+                    trace,
+                    occupied=True,
+                    distance=distance,
+                    angle=angle,
+                    location_index=location_index,
+                )
+
+        # Negative windows: the same number, same ambient conditions, nobody
+        # in the monitored area.
+        num_negative = len(grid) * config.windows_per_location
+        for _ in range(num_negative):
+            scene = background.people_for_window() + drift.clutter_for_window()
             trace = collector.collect(
-                scene, num_packets=config.window_packets, label=f"{link.name}/occupied"
+                scene, num_packets=config.window_packets, label=f"{link.name}/empty"
             )
             trace = drift.apply_to_trace(trace, drift.gain_for_window())
             score_window(
-                trace,
-                occupied=True,
-                distance=distance,
-                angle=angle,
-                location_index=location_index,
+                trace, occupied=False, distance=None, angle=None, location_index=None
             )
-
-    # Negative windows: the same number, same ambient conditions, nobody in
-    # the monitored area.
-    num_negative = len(grid) * config.windows_per_location
-    for _ in range(num_negative):
-        scene = background.people_for_window() + drift.clutter_for_window()
-        trace = collector.collect(
-            scene, num_packets=config.window_packets, label=f"{link.name}/empty"
-        )
-        trace = drift.apply_to_trace(trace, drift.gain_for_window())
-        score_window(
-            trace, occupied=False, distance=None, angle=None, location_index=None
-        )
 
     return windows
 

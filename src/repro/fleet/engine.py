@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import obs
 from repro.api.config import PipelineConfig
+from repro.backend import use_backend
 from repro.api.session import DetectionEvent, StreamingSession
 from repro.obs.trace import ObsSnapshot
 from repro.utils.validation import check_known_keys, check_probability
@@ -73,6 +74,13 @@ class FleetConfig:
     seed:
         Fleet seed; every link's streams derive from it and the link index
         (:func:`repro.fleet.traffic.derive_link_seed`).
+    backend:
+        Numeric backend (:mod:`repro.backend`) every shard — traffic
+        synthesis and scheduling alike — computes through: ``"exact"``
+        (default; the event digest is byte-identical to the historical
+        stream) or ``"fast"`` (SIMD kernels, tolerance parity).  Authoritative
+        for the whole fleet: the per-link ``pipeline.backend`` field is
+        ignored here, exactly as ``pipeline.seed`` is.
     batch_windows:
         Scheduler flush threshold — ready windows accumulated across links
         before one vectorized scoring pass.  Events are bit-identical for
@@ -100,14 +108,16 @@ class FleetConfig:
     class_rates_hz:
         Mean Poisson packet rate per rate class.
     pipeline:
-        The detection pipeline every link runs.  Its ``seed`` field is
-        ignored — fleet randomness comes from the fleet seed so that traffic
-        is per-link reproducible.
+        The detection pipeline every link runs.  Its ``seed`` and
+        ``backend`` fields are ignored — fleet randomness comes from the
+        fleet seed so that traffic is per-link reproducible, and the numeric
+        backend comes from the fleet-level :attr:`backend`.
     """
 
     links: int = 100
     duration_s: float = 10.0
     seed: int = 2015
+    backend: str = "exact"
     batch_windows: int = 32
     pool_packets: int = 50
     occupied_fraction: float = 0.5
@@ -142,6 +152,8 @@ class FleetConfig:
             raise ValueError(f"duration_s must be > 0, got {self.duration_s!r}")
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
             raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
         check_probability("occupied_fraction", self.occupied_fraction)
         if not isinstance(self.pipeline, PipelineConfig):
             raise ValueError(
@@ -332,10 +344,12 @@ def _build_traffic_shard(
 
     Traffic is a pure function of ``(config.seed, link_index)``, so shards
     built in any process merge (in index order) into the byte-identical
-    population a single process would have built.
+    population a single process would have built.  The fleet backend is
+    activated here because setup-pool workers never inherit the parent's
+    active backend.
     """
     with obs.shard_recording(obs_enabled) as recorder:
-        with obs.span("fleet.shard_setup"):
+        with use_backend(config.backend), obs.span("fleet.shard_setup"):
             traffics = _build_shard_traffic(config, indices)
         snapshot = recorder.snapshot() if recorder is not None else None
     return traffics, snapshot
@@ -381,14 +395,16 @@ def _run_fleet_shard(
     in), so shards are independent of each other and of the process they run
     in.  When *obs_enabled*, the shard records into its own :mod:`repro.obs`
     recorder and ships the snapshot home for in-order merge (process pools
-    don't share the parent's recorder).
+    don't share the parent's recorder).  Each shard activates the fleet
+    backend itself for the same reason.
     """
     with obs.shard_recording(obs_enabled) as recorder:
-        with obs.span("fleet.shard_setup"):
-            streams, census = _setup_streams(config, indices, traffics)
-        scheduler = FleetScheduler(batch_windows=config.batch_windows)
-        with obs.span("fleet.schedule"):
-            events, stats = scheduler.run(streams)
+        with use_backend(config.backend):
+            with obs.span("fleet.shard_setup"):
+                streams, census = _setup_streams(config, indices, traffics)
+            scheduler = FleetScheduler(batch_windows=config.batch_windows)
+            with obs.span("fleet.schedule"):
+                events, stats = scheduler.run(streams)
         snapshot = recorder.snapshot() if recorder is not None else None
     return (
         events,

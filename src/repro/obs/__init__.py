@@ -56,6 +56,7 @@ from repro.obs.trace import (
     set_recorder,
     shard_recording,
     span,
+    tag,
 )
 
 __all__ = [
@@ -93,4 +94,5 @@ __all__ = [
     "set_recorder",
     "shard_recording",
     "span",
+    "tag",
 ]

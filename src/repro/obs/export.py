@@ -34,6 +34,10 @@ JSONL_VERSION = 1
 def snapshot_to_jsonl(snapshot: ObsSnapshot) -> Iterator[str]:
     """Yield one JSON line per record: a meta line, then metrics, then spans."""
     yield json.dumps({"kind": "meta", "version": JSONL_VERSION}, sort_keys=True)
+    for key, value in snapshot.tags:
+        yield json.dumps(
+            {"kind": "tag", "key": key, "value": value}, sort_keys=True
+        )
     metrics = snapshot.metrics
     for name in sorted(metrics.counters):
         yield json.dumps(
@@ -75,6 +79,7 @@ def load_jsonl(path: str | Path) -> ObsSnapshot:
     gauges: dict[str, float] = {}
     histograms: dict[str, HistogramSnapshot] = {}
     spans: list[SpanRecord] = []
+    tags: dict[str, str] = {}
     for number, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
             continue
@@ -102,6 +107,8 @@ def load_jsonl(path: str | Path) -> ObsSnapshot:
                 histograms[name] = HistogramSnapshot.from_dict(record)
             elif kind == "span":
                 spans.append(SpanRecord.from_dict(record))
+            elif kind == "tag":
+                tags[str(record["key"])] = str(record["value"])
             else:
                 raise ValueError(f"unknown record kind {kind!r}")
         except (KeyError, TypeError, ValueError) as error:
@@ -111,6 +118,7 @@ def load_jsonl(path: str | Path) -> ObsSnapshot:
             counters=counters, gauges=gauges, histograms=histograms
         ),
         spans=tuple(spans),
+        tags=tuple(sorted(tags.items())),
     )
 
 
@@ -194,6 +202,10 @@ def _time_split_line(snapshot: ObsSnapshot) -> str | None:
 def markdown_report(snapshot: ObsSnapshot) -> str:
     """Markdown summary for CI job summaries: stage latencies, then scalars."""
     lines = ["### Observability (`repro obs report`)", ""]
+    if snapshot.tags:
+        tag_text = ", ".join(f"`{key}={value}`" for key, value in snapshot.tags)
+        lines.append(f"Tags: {tag_text}")
+        lines.append("")
     rows = _stage_rows(snapshot)
     if rows:
         lines.append("| Stage | Count | p50 | p99 | Total |")
@@ -229,6 +241,10 @@ def markdown_report(snapshot: ObsSnapshot) -> str:
 def text_report(snapshot: ObsSnapshot) -> str:
     """Plain-text summary: aligned stage table, then counters and gauges."""
     lines: list[str] = []
+    if snapshot.tags:
+        lines.append(
+            "tags: " + ", ".join(f"{key}={value}" for key, value in snapshot.tags)
+        )
     rows = _stage_rows(snapshot)
     if rows:
         name_width = max(len("stage"), max(len(name) for name, *_ in rows))

@@ -91,29 +91,33 @@ class ObsSnapshot:
 
     metrics: MetricsSnapshot
     spans: tuple[SpanRecord, ...] = ()
+    tags: tuple[tuple[str, str], ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         """The snapshot as a plain JSON-serialisable dict (``from_dict`` inverse)."""
         return {
             "metrics": self.metrics.to_dict(),
             "spans": [span.to_dict() for span in self.spans],
+            "tags": {key: value for key, value in self.tags},
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ObsSnapshot":
         """Rebuild a snapshot from :meth:`to_dict` output."""
         check_known_keys(
-            "ObsSnapshot", data, ("metrics", "spans"), required=("metrics",)
+            "ObsSnapshot", data, ("metrics", "spans", "tags"), required=("metrics",)
         )
+        tags = data.get("tags", {})
         return cls(
             metrics=MetricsSnapshot.from_dict(data["metrics"]),
             spans=tuple(SpanRecord.from_dict(span) for span in data.get("spans", ())),
+            tags=tuple(sorted((str(k), str(v)) for k, v in tags.items())),
         )
 
     @classmethod
     def empty(cls) -> "ObsSnapshot":
-        """A snapshot with no metrics and no spans."""
-        return cls(metrics=MetricsSnapshot.empty(), spans=())
+        """A snapshot with no metrics, spans or tags."""
+        return cls(metrics=MetricsSnapshot.empty(), spans=(), tags=())
 
 
 class _Span:
@@ -180,6 +184,7 @@ class Recorder:
         self.clock: Clock = clock if clock is not None else MonotonicClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans: deque[SpanRecord] = deque(maxlen=max_spans)
+        self.tags: dict[str, str] = {}
         self._stack: list[str] = []
 
     # ------------------------------------------------------------------ #
@@ -190,16 +195,30 @@ class Recorder:
         return _Span(self, name, attrs)
 
     def _finish_span(self, span: _Span, duration: float) -> None:
+        attrs: Mapping[str, Any] = span._attrs
+        if self.tags:
+            # Sticky recorder tags annotate every span; explicit span attrs
+            # win on key collisions.
+            attrs = {**self.tags, **attrs}
         self.spans.append(
             SpanRecord(
                 name=span.name,
                 path=span._path,
                 start_s=span._start,
                 duration_s=duration,
-                attrs=tuple(sorted(span._attrs.items())),
+                attrs=tuple(sorted(attrs.items())),
             )
         )
         self.metrics.histogram(span.name).observe(duration)
+
+    def tag(self, key: str, value: str) -> None:
+        """Set a sticky tag stamped onto every subsequently finished span.
+
+        Tags also ride along in :meth:`snapshot`, so exported metrics carry
+        run-level attribution (e.g. ``backend=fast``) without threading a
+        label through every ``count``/``observe`` call site.
+        """
+        self.tags[str(key)] = str(value)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment the counter *name* by *amount*."""
@@ -218,20 +237,33 @@ class Recorder:
     # ------------------------------------------------------------------ #
     def snapshot(self) -> ObsSnapshot:
         """The recorder's state as an immutable, process-shippable value."""
-        return ObsSnapshot(metrics=self.metrics.snapshot(), spans=tuple(self.spans))
+        return ObsSnapshot(
+            metrics=self.metrics.snapshot(),
+            spans=tuple(self.spans),
+            tags=tuple(sorted(self.tags.items())),
+        )
 
     def merge(self, snapshot: ObsSnapshot | None) -> None:
         """Fold a worker's snapshot into this recorder (``None`` is a no-op).
 
         Metric names add/merge via :meth:`MetricsRegistry.merge`; the
         worker's spans are appended to the ring buffer in their recorded
-        order.  Merging shards in a fixed order keeps the result
-        structurally identical for any worker count.
+        order.  Tag keys union in; a conflicting value joins into a sorted
+        comma-separated set (a fleet mixing backends reports both names).
+        Merging shards in a fixed order keeps the result structurally
+        identical for any worker count.
         """
         if snapshot is None:
             return
         self.metrics.merge(snapshot.metrics)
         self.spans.extend(snapshot.spans)
+        for key, value in snapshot.tags:
+            existing = self.tags.get(key)
+            if existing is None or existing == value:
+                self.tags[key] = value
+            else:
+                joined = set(existing.split(",")) | set(value.split(","))
+                self.tags[key] = ",".join(sorted(joined))
 
     def __repr__(self) -> str:
         return (
@@ -282,6 +314,9 @@ class NullRecorder:
         """No-op."""
 
     def gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def tag(self, key: str, value: str) -> None:
         """No-op."""
 
     def snapshot(self) -> ObsSnapshot:
@@ -353,6 +388,11 @@ def observe(name: str, value: float) -> None:
 def gauge(name: str, value: float) -> None:
     """Set a gauge under the installed recorder (no-op when disabled)."""
     _RECORDER.gauge(name, value)
+
+
+def tag(key: str, value: str) -> None:
+    """Set a sticky tag on the installed recorder (no-op when disabled)."""
+    _RECORDER.tag(key, value)
 
 
 def merge(snapshot: ObsSnapshot | None) -> None:
